@@ -1,0 +1,45 @@
+// Command fmcharacterize runs §5: it measures the global and local URL
+// lists from each confirmed deployment's in-country vantage and prints
+// the Table 4 blocked-content matrix.
+//
+// Usage:
+//
+//	fmcharacterize [-blocked]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"filtermap"
+)
+
+func main() {
+	showBlocked := flag.Bool("blocked", false, "print each blocked URL with its attribution")
+	flag.Parse()
+
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	w.Clock.Advance(8 * time.Hour)
+
+	reports, err := w.RunCharacterization(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(filtermap.RenderTable4(reports))
+	if *showBlocked {
+		fmt.Println()
+		for _, rep := range reports {
+			fmt.Printf("%s (%s, AS %d): %d blocked URLs\n", rep.Country, rep.ISP, rep.ASN, len(rep.Blocked))
+			for _, b := range rep.Blocked {
+				fmt.Printf("  %-45s %-22s [%s] via %s\n", b.Entry.URL, b.Entry.Category, b.Product, b.Pattern)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command fmconfirm runs §4 confirmation campaigns.
+//
+// Usage:
+//
+//	fmconfirm -list
+//	fmconfirm [-campaign netsweeper-yemen-yemennet] [-v]
+//
+// Without -campaign it runs all ten Table 3 case studies chronologically
+// and prints the table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"filtermap"
+
+	"filtermap/internal/confirm"
+	"filtermap/internal/measurement"
+)
+
+func main() {
+	campaign := flag.String("campaign", "", "run a single campaign by key (see -list)")
+	list := flag.Bool("list", false, "list campaign keys and exit")
+	verbose := flag.Bool("v", false, "print per-domain verdicts")
+	flag.Parse()
+
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+
+	if *list {
+		for _, p := range w.Table3Plans() {
+			fmt.Printf("%-32s starts %s\n", p.Key, p.StartAt.Format("2006-01-02 15:04"))
+		}
+		return
+	}
+
+	if *campaign == "" {
+		outcomes, err := w.RunTable3(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(filtermap.RenderTable3(outcomes))
+		return
+	}
+
+	for _, p := range w.Table3Plans() {
+		if p.Key != *campaign {
+			continue
+		}
+		w.Clock.AdvanceTo(p.StartAt)
+		c, err := p.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome, err := confirm.Run(ctx, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printOutcome(outcome, *verbose)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "unknown campaign %q (use -list)\n", *campaign)
+	os.Exit(2)
+}
+
+func printOutcome(o *confirm.Outcome, verbose bool) {
+	c := o.Campaign
+	fmt.Printf("%s in %s (%s, AS %d), category %s\n", c.Product, c.Country, c.ISP, c.ASN, c.CategoryLabel)
+	fmt.Printf("  submitted %s, blocked %s, controls blocked %d\n", o.SubmittedRatio(), o.Ratio(), o.BlockedControls)
+	if c.PreTest {
+		fmt.Printf("  pre-test clean: %v\n", o.PreTestClean)
+	} else {
+		fmt.Println("  pre-test skipped (access-triggered categorization, §4.4)")
+	}
+	verdict := "NOT CONFIRMED"
+	if o.Confirmed {
+		verdict = "CONFIRMED: the vendor's database drives this ISP's blocking"
+	}
+	fmt.Printf("  %s\n", verdict)
+	fmt.Printf("\n%s\n", o.Narrative())
+	if verbose {
+		for i, round := range o.Rounds {
+			fmt.Printf("  round %d:\n", i+1)
+			for _, r := range round {
+				mark := " "
+				if r.Verdict == measurement.Blocked {
+					mark = "X"
+				}
+				fmt.Printf("    [%s] %-40s %s\n", mark, r.URL, r.Verdict)
+			}
+		}
+	}
+}

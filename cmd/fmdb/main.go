@@ -1,0 +1,126 @@
+// Command fmdb dumps and inspects vendor categorization-database
+// snapshots — the §2.1 "subscription/update component" artifact.
+//
+// Usage:
+//
+//	fmdb dump -vendor netsweeper [-days 30] > netsweeper.jsonl
+//	fmdb lookup -snapshot netsweeper.jsonl -domain securelyproxy.net
+//	fmdb categories -vendor smartfilter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"filtermap"
+
+	"filtermap/internal/categorydb"
+	"filtermap/internal/simclock"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dump":
+		fs := flag.NewFlagSet("dump", flag.ExitOnError)
+		vendor := fs.String("vendor", "", "bluecoat | smartfilter | netsweeper | websense")
+		days := fs.Int("days", 0, "advance the world clock this many days before snapshotting")
+		fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+		dump(*vendor, *days)
+	case "lookup":
+		fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+		snapshot := fs.String("snapshot", "", "snapshot file written by fmdb dump")
+		domain := fs.String("domain", "", "domain to look up")
+		fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+		lookup(*snapshot, *domain)
+	case "categories":
+		fs := flag.NewFlagSet("categories", flag.ExitOnError)
+		vendor := fs.String("vendor", "", "bluecoat | smartfilter | netsweeper | websense")
+		fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+		categories(*vendor)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fmdb dump -vendor <v> [-days n] | fmdb lookup -snapshot <f> -domain <d> | fmdb categories -vendor <v>")
+	os.Exit(2)
+}
+
+func vendorDB(w *filtermap.World, vendor string) *categorydb.DB {
+	switch vendor {
+	case "bluecoat":
+		return w.BlueCoatDB
+	case "smartfilter":
+		return w.SmartFilterDB
+	case "netsweeper":
+		return w.NetsweeperDB
+	case "websense":
+		return w.WebsenseDB
+	default:
+		fmt.Fprintf(os.Stderr, "unknown vendor %q\n", vendor)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func dump(vendor string, days int) {
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	if days > 0 {
+		w.Clock.Advance(simclock.Days(days))
+	}
+	db := vendorDB(w, vendor)
+	if err := db.WriteSnapshot(os.Stdout, w.Clock.Now()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func lookup(path, domain string) {
+	if path == "" || domain == "" {
+		usage()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	db, takenAt, err := categorydb.ReadSnapshot(f, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, ok := db.Lookup(domain)
+	if !ok {
+		fmt.Printf("%s: not categorized in %s snapshot of %s\n", domain, db.Name(), takenAt.Format("2006-01-02"))
+		return
+	}
+	display := cat
+	if c, found := db.Category(cat); found {
+		display = fmt.Sprintf("%s (%s)", c.Name, cat)
+	}
+	fmt.Printf("%s: %s per %s snapshot of %s\n", domain, display, db.Name(), takenAt.Format("2006-01-02"))
+}
+
+func categories(vendor string) {
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	db := vendorDB(w, vendor)
+	for _, c := range db.Categories() {
+		num := ""
+		if c.Number != 0 {
+			num = fmt.Sprintf(" [%d]", c.Number)
+		}
+		fmt.Printf("%-28s %s%s\n", c.Code, c.Name, num)
+	}
+}

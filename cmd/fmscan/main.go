@@ -1,0 +1,94 @@
+// Command fmscan runs the §3 identification pipeline: banner scan,
+// keyword search, signature validation, and geo/AS mapping.
+//
+// Usage:
+//
+//	fmscan [-query "netsweeper country:YE"] [-installations]
+//
+// Without -query it runs the full Table 2 keyword fan-out and prints the
+// Figure 1 map; with -query it prints raw banner-index hits for one
+// Shodan-style query.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"filtermap"
+
+	"filtermap/internal/scanner"
+)
+
+func main() {
+	query := flag.String("query", "", "run a single Shodan-style banner query instead of the full pipeline")
+	showInstalls := flag.Bool("installations", false, "print per-installation detail")
+	saveCensus := flag.String("save-census", "", "write the banner index to a census JSONL file after scanning")
+	loadCensus := flag.String("load-census", "", "load the banner index from a census JSONL file instead of scanning")
+	flag.Parse()
+
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+
+	index, err := buildIndex(ctx, w, *loadCensus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saveCensus != "" {
+		f, err := os.Create(*saveCensus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := index.WriteCensus(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d banners to %s\n", index.Len(), *saveCensus)
+	}
+
+	if *query != "" {
+		hits, err := index.SearchString(*query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d hits for %q\n", len(hits), *query)
+		for _, h := range hits {
+			fmt.Printf("  %s:%d  %-30s %-3s %s\n", h.Addr, h.Port, h.Hostname, h.Country, h.StatusLine)
+		}
+		return
+	}
+
+	pipeline, err := w.IdentifyPipeline(ctx, index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := pipeline.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(filtermap.RenderFigure1(rep))
+	if *showInstalls {
+		fmt.Println()
+		fmt.Print(filtermap.RenderInstallations(rep))
+	}
+}
+
+func buildIndex(ctx context.Context, w *filtermap.World, censusPath string) (*scanner.Index, error) {
+	if censusPath != "" {
+		f, err := os.Open(censusPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return scanner.ReadCensus(f)
+	}
+	return w.Scanner().ScanNetwork(ctx)
+}

@@ -1,0 +1,73 @@
+// Characterization walkthrough (§5): measure the global and Yemen local
+// URL lists from inside YemenNet, classify block pages, and show which
+// protected-speech categories the deployment censors — plus the §4.4
+// deny-page-test probe of the deployment's vendor categories.
+//
+//	go run ./examples/characterize_content
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"filtermap"
+
+	"filtermap/internal/characterize"
+	"filtermap/internal/measurement"
+	"filtermap/internal/urllist"
+)
+
+func main() {
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+	// Measure while the YemenNet license permits filtering (§4.4's
+	// inconsistent blocking means timing matters).
+	w.Clock.Advance(8 * time.Hour)
+
+	client, err := w.MeasureClient(filtermap.ISPYemenNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := characterize.Characterize(ctx, characterize.Run{
+		Country: "YE", ISP: filtermap.ISPYemenNet, ASN: filtermap.ASNYemenNet,
+		Global: urllist.GlobalList(),
+		Local:  urllist.LocalList("YE"),
+		Client: client,
+	})
+
+	summary := measurement.Summarize(rep.Results)
+	fmt.Printf("tested %d URLs from YemenNet: %d accessible, %d blocked\n\n",
+		summary.Total, summary.Accessible, summary.Blocked)
+
+	fmt.Println("blocked URLs with attribution:")
+	for _, b := range rep.Blocked {
+		fmt.Printf("  %-45s %-25s [%s]\n", b.Entry.URL, b.Entry.Category, b.Product)
+	}
+
+	fmt.Println("\nblocked research categories per product:")
+	for _, p := range rep.Products() {
+		for _, code := range rep.BlockedCategories(p) {
+			name := code
+			if cat, ok := urllist.CategoryByCode(code); ok {
+				name = fmt.Sprintf("%s (%s theme)", cat.Name, cat.Theme)
+			}
+			fmt.Printf("  %-20s %s\n", p, name)
+		}
+	}
+
+	// The §4.4 operator-tool probe: which vendor categories are enabled?
+	fmt.Println("\ndeny-page tests (vendor categories enabled at YemenNet):")
+	for n := 1; n <= 66; n++ {
+		url := fmt.Sprintf("http://denypagetests.netsweeper.com/category/catno/%d", n)
+		if res := client.TestURL(ctx, url); res.Verdict == measurement.Blocked {
+			fmt.Printf("  catno %d blocked\n", n)
+		}
+	}
+}

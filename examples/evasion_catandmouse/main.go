@@ -1,0 +1,123 @@
+// Evasion cat-and-mouse (§6 / Table 5): apply each vendor evasion tactic
+// to the world and measure what survives — identification collapses under
+// hiding and scrubbing, confirmation survives everything, and submission
+// filtering falls to the proxy + webmail countermeasure.
+//
+//	go run ./examples/evasion_catandmouse
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"filtermap"
+
+	"filtermap/internal/confirm"
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/urllist"
+)
+
+func main() {
+	ctx := context.Background()
+
+	fmt.Println("baseline (no evasion):")
+	baseline, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repB, err := baseline.RunIdentification(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  identification: %d validated installations\n", len(repB.Installations))
+	baseline.Close()
+
+	fmt.Println("\ntactic 1 — hide devices from external scans:")
+	w1, err := filtermap.NewWorld(filtermap.Options{HideConsoles: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep1, err := w1.RunIdentification(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o1 := runBayanat(ctx, w1, w1.CounterEvasionSubmitter("McAfee SmartFilter"))
+	fmt.Printf("  identification: %d installations (was %d)\n", len(rep1.Installations), len(repB.Installations))
+	fmt.Printf("  confirmation:   %s blocked — §6: 'the confirmation is robust even if §3 is evaded'\n", o1.Ratio())
+	w1.Close()
+
+	fmt.Println("\ntactic 2 — scrub identifying headers:")
+	w2, err := filtermap.NewWorld(filtermap.Options{ScrubHeaders: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := w2.RunIdentification(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc := rep2.ProductCountries()
+	fmt.Printf("  SmartFilter identified in %d countries (header/title signatures defeated)\n",
+		len(pc[fingerprint.ProductSmartFilter]))
+	fmt.Printf("  Netsweeper identified in %d countries (the /webadmin deny path is structural:\n",
+		len(pc[fingerprint.ProductNetsweeper]))
+	fmt.Println("  relocating it would break the deployment, so the signature survives)")
+	w2.Close()
+
+	fmt.Println("\ntactic 3 — vendor disregards researcher submissions:")
+	w3, err := filtermap.NewWorld(filtermap.Options{FilterSubmissions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Lab-identity submissions are silently dropped.
+	labOutcome := runBayanatViaLab(ctx, w3)
+	fmt.Printf("  lab identity submissions: %s blocked (vendor dropped them silently)\n", labOutcome.Ratio())
+	// §6.2 countermeasure: proxy exit + webmail identity.
+	counterOutcome := runBayanat(ctx, w3, w3.CounterEvasionSubmitter("McAfee SmartFilter"))
+	fmt.Printf("  proxy + webmail identity: %s blocked — countermeasure works\n", counterOutcome.Ratio())
+	w3.Close()
+}
+
+func runBayanat(ctx context.Context, w *filtermap.World, submit confirm.SubmitFunc) *confirm.Outcome {
+	urls, err := w.ProvisionTestSites(urllist.AdultImage, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := w.MeasureClient(filtermap.ISPBayanat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outcome, err := confirm.Run(ctx, &confirm.Campaign{
+		Product: "McAfee SmartFilter", Country: "SA",
+		ISP: filtermap.ISPBayanat, ASN: filtermap.ASNBayanat,
+		Category: "pornography", CategoryLabel: "Pornography",
+		DomainURLs: urls, SubmitCount: 5, PreTest: true, WaitDays: 4,
+		Submit: submit, Wait: w.Wait, Measure: measure,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return outcome
+}
+
+func runBayanatViaLab(ctx context.Context, w *filtermap.World) *confirm.Outcome {
+	for _, p := range w.Table3Plans() {
+		if p.Key != "smartfilter-saudi-bayanat" {
+			continue
+		}
+		if w.Clock.Now().Before(p.StartAt) {
+			w.Clock.AdvanceTo(p.StartAt)
+		}
+		campaign, err := p.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome, err := confirm.Run(ctx, campaign)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return outcome
+	}
+	log.Fatal("no bayanat plan")
+	return nil
+}

@@ -1,0 +1,69 @@
+// Inconsistent blocking (§4.4, challenge 2): YemenNet's concurrent-user
+// license is exhausted at peak hours, so the filter fails open and the
+// same URL list gives different verdicts on different runs. The example
+// repeats a run across a simulated day and prints the consistency
+// analysis the confirmation methodology relies on.
+//
+//	go run ./examples/inconsistent_blocking
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"filtermap"
+
+	"filtermap/internal/measurement"
+)
+
+func main() {
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+
+	client, err := w.MeasureClient(filtermap.ISPYemenNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	urls := []string{
+		"http://global-pornography.org/",
+		"http://securelyproxy.net/",
+		"http://openanonymizer.net/",
+	}
+
+	fmt.Println("hourly runs across one simulated day (YemenNet):")
+	var runs [][]measurement.Result
+	for h := 0; h < 24; h += 3 {
+		results := client.TestList(ctx, urls)
+		runs = append(runs, results)
+		state := "enforcing"
+		if !w.YemenFilteringActive(w.Clock.Now()) {
+			state = "FAIL-OPEN (license exhausted)"
+		}
+		blocked := 0
+		for _, r := range results {
+			if r.Verdict == measurement.Blocked {
+				blocked++
+			}
+		}
+		fmt.Printf("  %s  %d/%d blocked  [%s]\n",
+			w.Clock.Now().Format("15:04"), blocked, len(urls), state)
+		w.Clock.Advance(3 * time.Hour)
+	}
+
+	rep := measurement.AnalyzeConsistency(runs)
+	fmt.Printf("\nconsistency over %d runs:\n", rep.Runs)
+	fmt.Printf("  always blocked: %v\n", rep.AlwaysBlocked)
+	fmt.Printf("  never blocked:  %v\n", rep.NeverBlocked)
+	fmt.Printf("  flaky:          %v\n", rep.FlakyURLs)
+	if !rep.Consistent() {
+		fmt.Println("\nblocking is inconsistent — the methodology therefore repeats tests")
+		fmt.Println("and counts a site blocked if any round blocked it (§4.4).")
+	}
+}

@@ -1,0 +1,100 @@
+// Package filtermap is a reproduction of "A Method for Identifying and
+// Confirming the Use of URL Filtering Products for Censorship" (Dalek et
+// al., IMC 2013).
+//
+// It provides, end to end, the paper's three pipelines:
+//
+//   - Identification (§3): scan an address space for banner keywords,
+//     validate candidates with WhatWeb-style signatures, and map validated
+//     URL-filter installations to countries and autonomous systems.
+//   - Confirmation (§4): prove a specific product censors a specific ISP
+//     by submitting researcher-controlled sites to the vendor's
+//     categorization service and observing that exactly the submitted
+//     subset becomes blocked.
+//   - Characterization (§5): measure curated URL lists from in-country
+//     vantage points and attribute blocked categories to products via
+//     block-page classification.
+//
+// Because the paper's substrate is the 2012-2013 Internet, the package
+// ships a deterministic simulated Internet (NewWorld) with working
+// implementations of Blue Coat ProxySG/WebFilter, McAfee SmartFilter,
+// Netsweeper and Websense, the ISPs of the paper's case studies, and the
+// supporting services (banner search, whois, geolocation, vendor
+// submission portals). The same pipelines operate over real sockets; the
+// simulation is an interchangeable transport.
+//
+// Quick start:
+//
+//	w, err := filtermap.NewWorld(filtermap.Options{})
+//	if err != nil { ... }
+//	defer w.Close()
+//	outcomes, err := w.RunTable3(context.Background())
+//	fmt.Print(filtermap.RenderTable3(outcomes))
+package filtermap
+
+import (
+	"filtermap/internal/characterize"
+	"filtermap/internal/confirm"
+	"filtermap/internal/identify"
+	"filtermap/internal/report"
+	"filtermap/internal/world"
+)
+
+// World is the assembled simulated Internet with the paper's deployments.
+type World = world.World
+
+// Options configures world construction, including the Table 5 evasion
+// scenarios.
+type Options = world.Options
+
+// Outcome is one confirmation case study result (one Table 3 row).
+type Outcome = confirm.Outcome
+
+// Campaign describes one confirmation case study.
+type Campaign = confirm.Campaign
+
+// IdentifyReport is the §3 pipeline output (Figure 1's content).
+type IdentifyReport = identify.Report
+
+// CharacterizeReport is one country's §5 output.
+type CharacterizeReport = characterize.Report
+
+// NewWorld builds the default simulated Internet.
+func NewWorld(opts Options) (*World, error) { return world.Build(opts) }
+
+// ISP names and AS numbers of the paper's case studies.
+const (
+	ISPEtisalat = world.ISPEtisalat
+	ISPDu       = world.ISPDu
+	ISPOoredoo  = world.ISPOoredoo
+	ISPBayanat  = world.ISPBayanat
+	ISPNournet  = world.ISPNournet
+	ISPYemenNet = world.ISPYemenNet
+
+	ASNEtisalat = world.ASNEtisalat
+	ASNDu       = world.ASNDu
+	ASNOoredoo  = world.ASNOoredoo
+	ASNBayanat  = world.ASNBayanat
+	ASNNournet  = world.ASNNournet
+	ASNYemenNet = world.ASNYemenNet
+)
+
+// RenderTable1 renders the paper's product inventory.
+func RenderTable1() string {
+	return report.Table1(report.DefaultProductInventory())
+}
+
+// RenderTable3 renders confirmation outcomes in the paper's Table 3
+// layout.
+func RenderTable3(outcomes []*Outcome) string { return report.Table3(outcomes) }
+
+// RenderTable4 renders characterization reports as the Table 4 matrix.
+func RenderTable4(reports []*CharacterizeReport) string {
+	return report.Table4(characterize.Matrix(reports))
+}
+
+// RenderFigure1 renders the identification report as the Figure 1 map.
+func RenderFigure1(rep *IdentifyReport) string { return report.Figure1(rep) }
+
+// RenderInstallations renders per-installation identification detail.
+func RenderInstallations(rep *IdentifyReport) string { return report.Installations(rep) }

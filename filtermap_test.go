@@ -1,0 +1,69 @@
+package filtermap_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"filtermap"
+)
+
+// TestFacadeEndToEnd drives the whole public surface once: world
+// construction, the three pipelines, and every renderer.
+func TestFacadeEndToEnd(t *testing.T) {
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+
+	idRep, err := w.RunIdentification(ctx)
+	if err != nil {
+		t.Fatalf("RunIdentification: %v", err)
+	}
+	fig := filtermap.RenderFigure1(idRep)
+	if !strings.Contains(fig, "Blue Coat:") || !strings.Contains(fig, "Netsweeper:") {
+		t.Fatalf("figure 1 = %s", fig)
+	}
+	installs := filtermap.RenderInstallations(idRep)
+	if !strings.Contains(installs, "ns1.yemen.net.ye") {
+		t.Fatal("installations table missing the YemenNet filter")
+	}
+
+	outcomes, err := w.RunTable3(ctx)
+	if err != nil {
+		t.Fatalf("RunTable3: %v", err)
+	}
+	table3 := filtermap.RenderTable3(outcomes)
+	for _, cell := range []string{"5/5", "5/6", "6/6", "0/3", "0/5", "Bayanat Al-Oula (AS 48237)"} {
+		if !strings.Contains(table3, cell) {
+			t.Errorf("table 3 missing %q:\n%s", cell, table3)
+		}
+	}
+
+	w.Clock.Advance(2 * time.Hour)
+	chRep, err := w.RunCharacterization(ctx)
+	if err != nil {
+		t.Fatalf("RunCharacterization: %v", err)
+	}
+	table4 := filtermap.RenderTable4(chRep)
+	if !strings.Contains(table4, "McAfee SmartFilter") || !strings.Contains(table4, "Netsweeper") {
+		t.Fatalf("table 4 = %s", table4)
+	}
+
+	table1 := filtermap.RenderTable1()
+	if !strings.Contains(table1, "Guelph, ON, Canada") {
+		t.Fatal("table 1 missing Netsweeper HQ")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if filtermap.ASNEtisalat != 5384 || filtermap.ASNYemenNet != 12486 {
+		t.Fatal("AS constants drifted from Table 3")
+	}
+	if filtermap.ISPBayanat != "Bayanat Al-Oula" {
+		t.Fatalf("ISP constant = %q", filtermap.ISPBayanat)
+	}
+}

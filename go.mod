@@ -1,0 +1,3 @@
+module filtermap
+
+go 1.23

@@ -1,0 +1,69 @@
+package blockpage
+
+import (
+	"testing"
+
+	"filtermap/internal/httpwire"
+)
+
+func BenchmarkClassifyBlockedBody(b *testing.B) {
+	c := NewClassifier(nil)
+	resp := httpwire.NewResponse(403, nil, []byte(`<html><head>
+<title>McAfee Web Gateway - Notification</title></head><body>
+<h1>URL Blocked</h1><p>Category: Pornography</p></body></html>`))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.ClassifyResponse(resp, 0); !ok {
+			b.Fatal("missed")
+		}
+	}
+}
+
+func BenchmarkClassifyRedirect(b *testing.B) {
+	c := NewClassifier(nil)
+	resp := httpwire.NewResponse(302, httpwire.NewHeader(
+		"Location", "http://ns1.example:8080/webadmin/deny/index.php?cat=24&url=http%3A%2F%2Fx%2F"), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.ClassifyResponse(resp, 0); !ok {
+			b.Fatal("missed")
+		}
+	}
+}
+
+func BenchmarkClassifyMissOrdinaryPage(b *testing.B) {
+	c := NewClassifier(nil)
+	resp := httpwire.NewResponse(200, nil, []byte(`<html><head><title>Weather</title></head>
+<body><p>Sunny with a chance of recipes. Nothing filtered here at all.</p></body></html>`))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.ClassifyResponse(resp, 0); ok {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func BenchmarkDeriveBodyRegexp(b *testing.B) {
+	samples := [][]byte{
+		samplePageBench("http://one.example/"),
+		samplePageBench("http://two.example/"),
+		samplePageBench("http://three.example/"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeriveBodyRegexp("X", samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func samplePageBench(url string) []byte {
+	return []byte(`<html>
+<head><title>Access Restricted</title></head>
+<body>
+<h1>This website is not available in your region</h1>
+<p>The page you requested has been restricted by national policy.</p>
+<p>URL: ` + url + `</p>
+</body>
+</html>`)
+}

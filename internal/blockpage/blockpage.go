@@ -1,0 +1,275 @@
+// Package blockpage implements §5's block-page recognition: "Manual
+// analysis identified regular expressions corresponding to the vendors'
+// block pages and automated analysis identified all URLs which matched a
+// given block page regular expression."
+//
+// The corpus covers the four products' block responses — both bodies
+// (Blue Coat exception pages, McAfee notifications) and redirect
+// Locations (Netsweeper deny pages, Websense blockpage.cgi). A Classifier
+// runs the corpus over a full redirect chain, because two of the four
+// vendors reveal themselves only in an intermediate 302.
+//
+// DeriveBodyRegexp mechanizes the "manual analysis" step: given sample
+// block pages for the same product captured for different URLs, it keeps
+// the lines stable across samples and emits a regexp that matches future
+// instances.
+package blockpage
+
+import (
+	"fmt"
+	"net/url"
+	"regexp"
+	"sort"
+	"strings"
+
+	"filtermap/internal/httpwire"
+)
+
+// Where selects which part of a response a pattern examines.
+type Where int
+
+const (
+	// InBody matches against the response body.
+	InBody Where = iota
+	// InLocation matches against a 3xx Location header.
+	InLocation
+)
+
+// String implements fmt.Stringer.
+func (w Where) String() string {
+	switch w {
+	case InBody:
+		return "body"
+	case InLocation:
+		return "location"
+	default:
+		return fmt.Sprintf("Where(%d)", int(w))
+	}
+}
+
+// Pattern is one block-page recognizer.
+type Pattern struct {
+	Product string
+	Name    string
+	Where   Where
+	Regexp  *regexp.Regexp
+}
+
+// Match is a successful classification.
+type Match struct {
+	Product string
+	Pattern string
+	// Category is the blocking category when it can be recovered from the
+	// block page or redirect ("" otherwise).
+	Category string
+	// Hop is the index in the redirect chain where the block page was
+	// recognized.
+	Hop int
+}
+
+// DefaultPatterns returns the vendor block-page corpus.
+func DefaultPatterns() []Pattern {
+	return []Pattern{
+		{
+			Product: "Blue Coat",
+			Name:    "exception-page",
+			Where:   InBody,
+			Regexp:  regexp.MustCompile(`(?i)your request was denied because of its content categorization`),
+		},
+		{
+			Product: "McAfee SmartFilter",
+			Name:    "mwg-notification",
+			Where:   InBody,
+			Regexp:  regexp.MustCompile(`(?is)<title>McAfee Web Gateway - Notification</title>.*URL Blocked`),
+		},
+		{
+			Product: "Netsweeper",
+			Name:    "deny-redirect",
+			Where:   InLocation,
+			Regexp:  regexp.MustCompile(`(?i)/webadmin/deny/`),
+		},
+		{
+			Product: "Netsweeper",
+			Name:    "deny-page",
+			Where:   InBody,
+			Regexp:  regexp.MustCompile(`(?i)this page has been denied.*powered by netsweeper|powered by netsweeper`),
+		},
+		{
+			Product: "Websense",
+			Name:    "blockpage-redirect",
+			Where:   InLocation,
+			Regexp:  regexp.MustCompile(`(?i):15871/cgi-bin/blockpage\.cgi\?.*ws-session=`),
+		},
+		{
+			Product: "Websense",
+			Name:    "blockpage-body",
+			Where:   InBody,
+			Regexp:  regexp.MustCompile(`(?i)content blocked by your organization's policy`),
+		},
+	}
+}
+
+// Classifier recognizes block pages in response chains.
+type Classifier struct {
+	patterns []Pattern
+}
+
+// NewClassifier builds a classifier; nil patterns selects the default
+// corpus.
+func NewClassifier(patterns []Pattern) *Classifier {
+	if patterns == nil {
+		patterns = DefaultPatterns()
+	}
+	return &Classifier{patterns: patterns}
+}
+
+// Patterns returns the classifier's corpus.
+func (c *Classifier) Patterns() []Pattern {
+	out := make([]Pattern, len(c.patterns))
+	copy(out, c.patterns)
+	return out
+}
+
+// Add appends a pattern (e.g. one derived with DeriveBodyRegexp).
+func (c *Classifier) Add(p Pattern) { c.patterns = append(c.patterns, p) }
+
+// ClassifyResponse checks one response against the corpus.
+func (c *Classifier) ClassifyResponse(resp *httpwire.Response, hop int) (Match, bool) {
+	for _, p := range c.patterns {
+		switch p.Where {
+		case InBody:
+			if p.Regexp.Match(resp.Body) {
+				return Match{Product: p.Product, Pattern: p.Name, Category: categoryFromResponse(resp), Hop: hop}, true
+			}
+		case InLocation:
+			if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+				if loc := resp.Header.Get("Location"); loc != "" && p.Regexp.MatchString(loc) {
+					return Match{Product: p.Product, Pattern: p.Name, Category: categoryFromLocation(loc), Hop: hop}, true
+				}
+			}
+		}
+	}
+	return Match{}, false
+}
+
+// ClassifyChain checks a redirect chain in order and returns the first
+// block-page match.
+func (c *Classifier) ClassifyChain(chain []*httpwire.Response) (Match, bool) {
+	for i, resp := range chain {
+		if m, ok := c.ClassifyResponse(resp, i); ok {
+			return m, true
+		}
+	}
+	return Match{}, false
+}
+
+// categoryFromLocation recovers the category parameter from deny/block
+// redirect URLs ("cat" for both Netsweeper and Websense).
+func categoryFromLocation(loc string) string {
+	u, err := url.Parse(loc)
+	if err != nil {
+		return ""
+	}
+	return u.Query().Get("cat")
+}
+
+var categoryLine = regexp.MustCompile(`(?i)<p>category:\s*([^<]+)</p>`)
+
+// categoryFromResponse recovers the "Category: ..." line that the block
+// pages in this corpus carry.
+func categoryFromResponse(resp *httpwire.Response) string {
+	m := categoryLine.FindSubmatch(resp.Body)
+	if m == nil {
+		return ""
+	}
+	cat := strings.TrimSpace(string(m[1]))
+	// Strip trailing annotations like " (23)" or " — session 1234".
+	if i := strings.IndexAny(cat, "(—"); i > 0 {
+		cat = strings.TrimSpace(cat[:i])
+	}
+	return cat
+}
+
+// DeriveBodyRegexp reproduces the paper's manual regex derivation: given
+// at least two block-page samples captured for different URLs, it keeps
+// the non-trivial lines common to all samples and joins them into a
+// single tolerant regexp. Lines that vary between samples (the blocked
+// URL, timestamps, session ids) drop out automatically.
+func DeriveBodyRegexp(product string, samples [][]byte) (Pattern, error) {
+	if len(samples) < 2 {
+		return Pattern{}, fmt.Errorf("blockpage: need at least 2 samples, got %d", len(samples))
+	}
+	common := lineSet(samples[0])
+	for _, s := range samples[1:] {
+		next := lineSet(s)
+		for line := range common {
+			if !next[line] {
+				delete(common, line)
+			}
+		}
+	}
+	// Keep surviving lines in the first sample's document order so the
+	// joined pattern matches real pages.
+	var lines []string
+	for _, line := range strings.Split(string(samples[0]), "\n") {
+		line = strings.TrimSpace(line)
+		if common[line] && len(line) >= 8 && !isMarkupOnly(line) {
+			lines = append(lines, line)
+			delete(common, line) // dedupe repeats
+		}
+	}
+	if len(lines) == 0 {
+		return Pattern{}, fmt.Errorf("blockpage: samples share no distinctive lines")
+	}
+	// Prefer the two longest stable lines, preserving document order.
+	if len(lines) > 2 {
+		idx := make([]int, len(lines))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return len(lines[idx[i]]) > len(lines[idx[j]]) })
+		keep := idx[:2]
+		sort.Ints(keep)
+		lines = []string{lines[keep[0]], lines[keep[1]]}
+	}
+	parts := make([]string, len(lines))
+	for i, l := range lines {
+		parts[i] = regexp.QuoteMeta(l)
+	}
+	re, err := regexp.Compile(`(?is)` + strings.Join(parts, ".*"))
+	if err != nil {
+		return Pattern{}, fmt.Errorf("blockpage: derived regex failed to compile: %w", err)
+	}
+	return Pattern{Product: product, Name: "derived", Where: InBody, Regexp: re}, nil
+}
+
+func lineSet(b []byte) map[string]bool {
+	set := make(map[string]bool)
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// isMarkupOnly reports whether a line carries no text outside HTML tags.
+func isMarkupOnly(line string) bool {
+	depth := 0
+	for _, r := range line {
+		switch r {
+		case '<':
+			depth++
+		case '>':
+			if depth > 0 {
+				depth--
+			}
+		default:
+			if depth == 0 && r != ' ' && r != '\t' {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package categorydb
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"filtermap/internal/simclock"
+)
+
+func benchDB(b *testing.B, domains int) (*DB, *simclock.Manual) {
+	b.Helper()
+	clock := simclock.NewManual(time.Time{})
+	db := New("bench", clock)
+	db.AddCategory(Category{Code: "cat", Name: "Cat"})
+	for i := 0; i < domains; i++ {
+		if err := db.AddDomain(fmt.Sprintf("site%d.example.com", i), "cat"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, clock
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	db, _ := benchDB(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Lookup("www.site5000.example.com"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	db, _ := benchDB(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Lookup("unknown.invalid"); ok {
+			b.Fatal("hit")
+		}
+	}
+}
+
+func BenchmarkLookupWithDecidedEntries(b *testing.B) {
+	db, clock := benchDB(b, 1000)
+	db.ReviewStagger = 0 // decide all submissions together
+	for i := 0; i < 500; i++ {
+		db.Submit(fmt.Sprintf("http://sub%d.info/", i), "cat", netip.Addr{}, "") //nolint:errcheck // valid
+	}
+	clock.Advance(simclock.Days(30))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Lookup("sub250.info"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSubmit(b *testing.B) {
+	clock := simclock.NewManual(time.Time{})
+	db := New("bench", clock)
+	db.AddCategory(Category{Code: "cat", Name: "Cat"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Submit(fmt.Sprintf("http://s%d.info/", i), "cat", netip.Addr{}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

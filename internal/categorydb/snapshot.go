@@ -1,0 +1,163 @@
+package categorydb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshots serialize the effective database at a moment in time — the
+// artifact a vendor's "subscription/update component" (§2.1) actually
+// ships to deployments. A snapshot taken at time T contains the taxonomy
+// plus every domain entry effective at T; loading one reconstructs a DB
+// whose lookups answer exactly as the original would have at T.
+
+// snapshotHeader is the first JSON line of a snapshot.
+type snapshotHeader struct {
+	Vendor  string    `json:"vendor"`
+	TakenAt time.Time `json:"taken_at"`
+	Entries int       `json:"entries"`
+}
+
+// snapshotCategory and snapshotEntry follow, one per line, categories
+// first.
+type snapshotCategory struct {
+	Kind   string `json:"kind"` // "category"
+	Code   string `json:"code"`
+	Name   string `json:"name"`
+	Number int    `json:"number,omitempty"`
+	Theme  string `json:"theme,omitempty"`
+}
+
+type snapshotEntry struct {
+	Kind     string `json:"kind"` // "entry"
+	Domain   string `json:"domain"`
+	Category string `json:"category"`
+}
+
+// WriteSnapshot serializes the database as effective at time at.
+func (db *DB) WriteSnapshot(w io.Writer, at time.Time) error {
+	db.mu.RLock()
+	cats := make([]Category, 0, len(db.categories))
+	for _, c := range db.categories {
+		cats = append(cats, c)
+	}
+	entries := make(map[string]string, len(db.base))
+	for d, c := range db.base {
+		entries[d] = c
+	}
+	for _, e := range db.decided {
+		if e.effectiveAt.After(at) {
+			break
+		}
+		entries[e.domain] = e.category
+	}
+	vendor := db.name
+	db.mu.RUnlock()
+
+	sort.Slice(cats, func(i, j int) bool { return cats[i].Code < cats[j].Code })
+	domains := make([]string, 0, len(entries))
+	for d := range entries {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{Vendor: vendor, TakenAt: at, Entries: len(domains)}); err != nil {
+		return fmt.Errorf("categorydb: write snapshot header: %w", err)
+	}
+	for _, c := range cats {
+		rec := snapshotCategory{Kind: "category", Code: c.Code, Name: c.Name, Number: c.Number, Theme: c.Theme}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("categorydb: write snapshot category: %w", err)
+		}
+	}
+	for _, d := range domains {
+		rec := snapshotEntry{Kind: "entry", Domain: d, Category: entries[d]}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("categorydb: write snapshot entry: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a database from a snapshot. The result is a
+// static DB (no pending submissions) named after the snapshot's vendor,
+// using the given clock.
+func ReadSnapshot(r io.Reader, clock interface{ Now() time.Time }) (*DB, time.Time, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return nil, time.Time{}, fmt.Errorf("categorydb: empty snapshot")
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, time.Time{}, fmt.Errorf("categorydb: snapshot header: %w", err)
+	}
+	db := New(hdr.Vendor, clockOrSystem(clock))
+	entries := 0
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, time.Time{}, fmt.Errorf("categorydb: snapshot line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "category":
+			var c snapshotCategory
+			if err := json.Unmarshal(raw, &c); err != nil {
+				return nil, time.Time{}, fmt.Errorf("categorydb: snapshot line %d: %w", line, err)
+			}
+			db.AddCategory(Category{Code: c.Code, Name: c.Name, Number: c.Number, Theme: c.Theme})
+		case "entry":
+			var e snapshotEntry
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, time.Time{}, fmt.Errorf("categorydb: snapshot line %d: %w", line, err)
+			}
+			if err := db.AddDomain(e.Domain, e.Category); err != nil {
+				return nil, time.Time{}, fmt.Errorf("categorydb: snapshot line %d: %w", line, err)
+			}
+			entries++
+		default:
+			return nil, time.Time{}, fmt.Errorf("categorydb: snapshot line %d: unknown kind %q", line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, time.Time{}, fmt.Errorf("categorydb: read snapshot: %w", err)
+	}
+	if entries != hdr.Entries {
+		return nil, time.Time{}, fmt.Errorf("categorydb: snapshot truncated: %d of %d entries", entries, hdr.Entries)
+	}
+	return db, hdr.TakenAt, nil
+}
+
+// clockOrSystem keeps ReadSnapshot decoupled from simclock's concrete
+// types: any Now()-bearing clock works, nil falls back to the system
+// clock via New's default.
+func clockOrSystem(c interface{ Now() time.Time }) clockAdapter {
+	return clockAdapter{c}
+}
+
+type clockAdapter struct {
+	inner interface{ Now() time.Time }
+}
+
+func (c clockAdapter) Now() time.Time {
+	if c.inner == nil {
+		return time.Now()
+	}
+	return c.inner.Now()
+}
+
+func (c clockAdapter) After(d time.Duration) <-chan time.Time { return time.After(d) }

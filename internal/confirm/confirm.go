@@ -1,0 +1,218 @@
+// Package confirm implements the §4 confirmation methodology — the
+// paper's core contribution: prove that a *specific* URL-filtering
+// product performs censorship in a *specific* ISP by exploiting the
+// vendor's crowdsourced URL-submission channel.
+//
+// The protocol (§4.2):
+//
+//  1. stand up fresh researcher-controlled sites that nothing blocks,
+//  2. (optionally) verify from the in-country vantage that they load —
+//     skipped for Netsweeper, whose access-triggered categorization queue
+//     would taint the pre-test (§4.4, challenge: "it is not possible for
+//     us to validate that our sites are accessible prior to submitting"),
+//  3. submit a subset to the vendor's categorization service,
+//  4. wait 3-5 days (virtual time in the simulated world),
+//  5. re-test everything; if the submitted subset — and only it — turns
+//     blocked, the vendor's database demonstrably drives that ISP's
+//     censorship.
+//
+// Repeated re-test rounds handle inconsistent blocking (§4.4 challenge 2):
+// a license-exhausted filter is intermittently offline, so a domain counts
+// as blocked if any round blocked it.
+package confirm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"filtermap/internal/measurement"
+	"filtermap/internal/simclock"
+)
+
+// SubmitFunc submits one URL to a vendor's categorization service,
+// requesting the given category.
+type SubmitFunc func(ctx context.Context, url, category string) error
+
+// WaitFunc advances time by d: in the simulated world it advances the
+// manual clock; against real infrastructure it would sleep.
+type WaitFunc func(d time.Duration)
+
+// Campaign describes one confirmation case study (one Table 3 row).
+type Campaign struct {
+	// Product is the vendor product under test.
+	Product string
+	// Country and ISP locate the deployment; ASN is its autonomous
+	// system.
+	Country string
+	ISP     string
+	ASN     int
+	// Category is the vendor category the submissions request — chosen to
+	// match a category the ISP is believed to block (§4's "knowledge of
+	// what categories are blocked" requirement).
+	Category string
+	// CategoryLabel is the human-readable category for reports (e.g.
+	// "Pornography", "Proxy anonymizer").
+	CategoryLabel string
+	// Date labels the campaign for Table 3 (e.g. "9/2012").
+	Date string
+
+	// DomainURLs are the researcher-controlled site URLs, already live.
+	DomainURLs []string
+	// SubmitCount is how many of them to submit (the rest are controls).
+	SubmitCount int
+	// PreTest controls step 2; false for Netsweeper deployments.
+	PreTest bool
+	// WaitDays is the review delay to allow before re-testing (paper:
+	// 3-5; default 4).
+	WaitDays int
+	// RetestRounds is how many re-test passes to run (default 1; more
+	// under inconsistent blocking). Rounds are spaced RetestSpacing
+	// apart (default 6h).
+	RetestRounds  int
+	RetestSpacing time.Duration
+
+	// Submit performs the vendor submission.
+	Submit SubmitFunc
+	// Wait advances time.
+	Wait WaitFunc
+	// Measure is the dual-vantage client whose field side sits inside the
+	// ISP.
+	Measure *measurement.Client
+}
+
+// Validate checks the campaign is runnable.
+func (c *Campaign) Validate() error {
+	switch {
+	case len(c.DomainURLs) == 0:
+		return fmt.Errorf("confirm: campaign has no domains")
+	case c.SubmitCount <= 0 || c.SubmitCount > len(c.DomainURLs):
+		return fmt.Errorf("confirm: submit count %d out of range for %d domains", c.SubmitCount, len(c.DomainURLs))
+	case c.Submit == nil:
+		return fmt.Errorf("confirm: no submit function")
+	case c.Wait == nil:
+		return fmt.Errorf("confirm: no wait function")
+	case c.Measure == nil:
+		return fmt.Errorf("confirm: no measurement client")
+	}
+	return nil
+}
+
+// Outcome is the result of one campaign (one Table 3 row).
+type Outcome struct {
+	Campaign *Campaign
+
+	// PreTestResults holds step 2's measurements (empty when skipped).
+	PreTestResults []measurement.Result
+	// PreTestClean reports whether every domain was accessible before
+	// submission (vacuously true when the pre-test is skipped).
+	PreTestClean bool
+
+	// Submitted and Controls partition the domain URLs.
+	Submitted []string
+	Controls  []string
+	// SubmitErrors records vendor-submission transport failures.
+	SubmitErrors []error
+
+	// Rounds holds every re-test round.
+	Rounds [][]measurement.Result
+
+	// BlockedSubmitted and BlockedControls count domains blocked in at
+	// least one round.
+	BlockedSubmitted int
+	BlockedControls  int
+	// BlockedSubmittedURLs lists which submitted domains turned blocked.
+	BlockedSubmittedURLs []string
+
+	// Confirmed is the verdict: a majority of submitted domains turned
+	// blocked while no control did, so the submission channel demonstrably
+	// feeds this ISP's filter.
+	Confirmed bool
+}
+
+// Ratio renders the Table 3 "sites blocked" cell, e.g. "5/6".
+func (o *Outcome) Ratio() string {
+	return fmt.Sprintf("%d/%d", o.BlockedSubmitted, len(o.Submitted))
+}
+
+// SubmittedRatio renders the Table 3 "sites submitted" cell, e.g. "6/12".
+func (o *Outcome) SubmittedRatio() string {
+	return fmt.Sprintf("%d/%d", len(o.Submitted), len(o.Submitted)+len(o.Controls))
+}
+
+// Run executes the campaign.
+func Run(ctx context.Context, c *Campaign) (*Outcome, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{Campaign: c, PreTestClean: true}
+
+	// Step 2: pre-test.
+	if c.PreTest {
+		out.PreTestResults = c.Measure.TestList(ctx, c.DomainURLs)
+		for _, r := range out.PreTestResults {
+			if r.Verdict != measurement.Accessible {
+				out.PreTestClean = false
+			}
+		}
+	}
+
+	// Step 3: submit the first SubmitCount URLs; the rest are controls.
+	out.Submitted = append(out.Submitted, c.DomainURLs[:c.SubmitCount]...)
+	out.Controls = append(out.Controls, c.DomainURLs[c.SubmitCount:]...)
+	for _, u := range out.Submitted {
+		if err := c.Submit(ctx, u, c.Category); err != nil {
+			out.SubmitErrors = append(out.SubmitErrors, fmt.Errorf("submit %s: %w", u, err))
+		}
+	}
+
+	// Step 4: wait out the review delay.
+	days := c.WaitDays
+	if days == 0 {
+		days = 4
+	}
+	c.Wait(simclock.Days(days))
+
+	// Step 5: re-test, possibly repeatedly.
+	rounds := c.RetestRounds
+	if rounds == 0 {
+		rounds = 1
+	}
+	spacing := c.RetestSpacing
+	if spacing == 0 {
+		spacing = 6 * time.Hour
+	}
+	blocked := make(map[string]bool)
+	for i := 0; i < rounds; i++ {
+		if i > 0 {
+			c.Wait(spacing)
+		}
+		round := c.Measure.TestList(ctx, c.DomainURLs)
+		out.Rounds = append(out.Rounds, round)
+		for _, r := range round {
+			if r.Verdict == measurement.Blocked {
+				blocked[r.URL] = true
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	for _, u := range out.Submitted {
+		if blocked[u] {
+			out.BlockedSubmitted++
+			out.BlockedSubmittedURLs = append(out.BlockedSubmittedURLs, u)
+		}
+	}
+	for _, u := range out.Controls {
+		if blocked[u] {
+			out.BlockedControls++
+		}
+	}
+	sort.Strings(out.BlockedSubmittedURLs)
+
+	out.Confirmed = out.BlockedSubmitted*2 > len(out.Submitted) && out.BlockedControls == 0
+	return out, nil
+}

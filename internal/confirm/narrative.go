@@ -1,0 +1,58 @@
+package confirm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Narrative renders an outcome as the kind of prose summary the paper's
+// case studies (§4.3-§4.5) report, suitable for inclusion in a findings
+// write-up.
+func (o *Outcome) Narrative() string {
+	c := o.Campaign
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "We created %d domains and hosted them on commodity infrastructure. ",
+		len(o.Submitted)+len(o.Controls))
+	if c.PreTest {
+		if o.PreTestClean {
+			fmt.Fprintf(&b, "Measurements from within %s (%s, AS %d) verified all domains were accessible. ",
+				c.Country, c.ISP, c.ASN)
+		} else {
+			fmt.Fprintf(&b, "Pre-testing from within %s (%s, AS %d) found some domains already interfered with. ",
+				c.Country, c.ISP, c.ASN)
+		}
+	} else {
+		fmt.Fprintf(&b, "Because this deployment queues accessed sites for categorization, no pre-test was run; "+
+			"we operate on the assumption that none of the domains were blocked prior to submission. ")
+	}
+
+	fmt.Fprintf(&b, "We then submitted %d of the domains to the %s categorization service under the %q category ",
+		len(o.Submitted), c.Product, c.CategoryLabel)
+	days := c.WaitDays
+	if days == 0 {
+		days = 4
+	}
+	fmt.Fprintf(&b, "and re-tested after %d days", days)
+	if len(o.Rounds) > 1 {
+		fmt.Fprintf(&b, " (across %d measurement rounds)", len(o.Rounds))
+	}
+	b.WriteString(". ")
+
+	fmt.Fprintf(&b, "%d of the %d submitted domains were blocked; %d of the %d unsubmitted control domains were blocked. ",
+		o.BlockedSubmitted, len(o.Submitted), o.BlockedControls, len(o.Controls))
+	if len(o.SubmitErrors) > 0 {
+		fmt.Fprintf(&b, "(%d submissions failed at the portal.) ", len(o.SubmitErrors))
+	}
+
+	if o.Confirmed {
+		fmt.Fprintf(&b, "This confirms that %s is used for censorship in %s: "+
+			"blocking tracked our submissions and nothing else.", c.Product, c.ISP)
+	} else if o.BlockedSubmitted == 0 {
+		fmt.Fprintf(&b, "The submissions had no effect, so %s's database does not drive blocking in %s.",
+			c.Product, c.ISP)
+	} else {
+		fmt.Fprintf(&b, "The result is inconclusive for %s in %s.", c.Product, c.ISP)
+	}
+	return b.String()
+}

@@ -1,0 +1,372 @@
+// Package fingerprint implements the WhatWeb-style validation stage of
+// §3.1: active HTTP probing of a candidate IP with a library of
+// product signatures.
+//
+// The scanner stage is deliberately loose; this stage is the precision
+// filter ("we use the WhatWeb profiling tool to confirm the product that
+// is installed on a given host"). A Signature combines matchers over
+// status, headers (exact wire case available), HTML title, body, and
+// redirect Location — the observable classes Table 2 enumerates. The
+// engine probes a small set of paths and ports and evaluates every
+// registered signature against every response.
+package fingerprint
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/netip"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"filtermap/internal/httpwire"
+	"filtermap/internal/netsim"
+)
+
+// Matcher tests one aspect of an HTTP response. Matchers within a
+// signature are AND-ed.
+type Matcher interface {
+	// Match reports whether the response satisfies the condition.
+	Match(resp *httpwire.Response) bool
+	// Describe renders the condition for reports.
+	Describe() string
+}
+
+// HeaderContains matches when the named header's value contains substr,
+// case-insensitively.
+type HeaderContains struct {
+	Name   string
+	Substr string
+}
+
+// Match implements Matcher.
+func (m HeaderContains) Match(resp *httpwire.Response) bool {
+	for _, v := range resp.Header.Values(m.Name) {
+		if strings.Contains(strings.ToLower(v), strings.ToLower(m.Substr)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe implements Matcher.
+func (m HeaderContains) Describe() string {
+	return fmt.Sprintf("header %s contains %q", m.Name, m.Substr)
+}
+
+// HeaderPresent matches when the named header exists with its exact wire
+// case. McAfee's "Via-Proxy" is identified by the raw name, which is why
+// the codec preserves case.
+type HeaderPresent struct {
+	ExactName string
+}
+
+// Match implements Matcher.
+func (m HeaderPresent) Match(resp *httpwire.Response) bool {
+	raw, ok := resp.Header.RawName(m.ExactName)
+	return ok && raw == m.ExactName
+}
+
+// Describe implements Matcher.
+func (m HeaderPresent) Describe() string {
+	return fmt.Sprintf("header %q present (exact case)", m.ExactName)
+}
+
+// TitleContains matches when the HTML <title> contains substr,
+// case-insensitively.
+type TitleContains struct {
+	Substr string
+}
+
+// Match implements Matcher.
+func (m TitleContains) Match(resp *httpwire.Response) bool {
+	title, ok := ExtractTitle(resp.Body)
+	return ok && strings.Contains(strings.ToLower(title), strings.ToLower(m.Substr))
+}
+
+// Describe implements Matcher.
+func (m TitleContains) Describe() string {
+	return fmt.Sprintf("HTML title contains %q", m.Substr)
+}
+
+// BodyContains matches when the body contains substr, case-insensitively.
+type BodyContains struct {
+	Substr string
+}
+
+// Match implements Matcher.
+func (m BodyContains) Match(resp *httpwire.Response) bool {
+	return strings.Contains(strings.ToLower(string(resp.Body)), strings.ToLower(m.Substr))
+}
+
+// Describe implements Matcher.
+func (m BodyContains) Describe() string {
+	return fmt.Sprintf("body contains %q", m.Substr)
+}
+
+// BodyRegexp matches the body against a compiled pattern.
+type BodyRegexp struct {
+	Pattern *regexp.Regexp
+}
+
+// Match implements Matcher.
+func (m BodyRegexp) Match(resp *httpwire.Response) bool {
+	return m.Pattern.Match(resp.Body)
+}
+
+// Describe implements Matcher.
+func (m BodyRegexp) Describe() string {
+	return fmt.Sprintf("body matches /%s/", m.Pattern)
+}
+
+// LocationMatches matches 3xx responses whose Location satisfies the
+// predicate — the shape of the Blue Coat (cfauth.com) and Websense
+// (port 15871 + ws-session) signatures in Table 2.
+type LocationMatches struct {
+	Desc string
+	Fn   func(loc string) bool
+}
+
+// Match implements Matcher.
+func (m LocationMatches) Match(resp *httpwire.Response) bool {
+	if resp.StatusCode < 300 || resp.StatusCode > 399 {
+		return false
+	}
+	loc := resp.Header.Get("Location")
+	return loc != "" && m.Fn(loc)
+}
+
+// Describe implements Matcher.
+func (m LocationMatches) Describe() string {
+	return "Location " + m.Desc
+}
+
+// StatusIs matches a specific status code.
+type StatusIs struct {
+	Code int
+}
+
+// Match implements Matcher.
+func (m StatusIs) Match(resp *httpwire.Response) bool { return resp.StatusCode == m.Code }
+
+// Describe implements Matcher.
+func (m StatusIs) Describe() string { return fmt.Sprintf("status is %d", m.Code) }
+
+// ExtractTitle returns the contents of the first <title> element.
+func ExtractTitle(body []byte) (string, bool) {
+	lower := strings.ToLower(string(body))
+	start := strings.Index(lower, "<title>")
+	if start < 0 {
+		return "", false
+	}
+	rest := lower[start+len("<title>"):]
+	end := strings.Index(rest, "</title>")
+	if end < 0 {
+		return "", false
+	}
+	orig := string(body)[start+len("<title>") : start+len("<title>")+end]
+	return strings.TrimSpace(orig), true
+}
+
+// Probe describes one request the engine sends while profiling a host.
+type Probe struct {
+	Port uint16
+	Path string
+}
+
+// DefaultProbes covers the paths and ports where the four products answer.
+var DefaultProbes = []Probe{
+	{Port: 80, Path: "/"},
+	{Port: 8080, Path: "/"},
+	{Port: 8080, Path: "/webadmin/"},
+	{Port: 4712, Path: "/"},
+	{Port: 8082, Path: "/"},
+	{Port: 15871, Path: "/cgi-bin/blockpage.cgi"},
+}
+
+// Signature identifies one product from a probed response.
+type Signature struct {
+	// Product is the canonical product name, e.g. "Netsweeper".
+	Product string
+	// Name distinguishes multiple signatures for one product.
+	Name string
+	// Matchers are AND-ed against a single response.
+	Matchers []Matcher
+}
+
+// Matches reports whether every matcher accepts the response.
+func (s *Signature) Matches(resp *httpwire.Response) bool {
+	if len(s.Matchers) == 0 {
+		return false
+	}
+	for _, m := range s.Matchers {
+		if !m.Match(resp) {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders the signature conditions.
+func (s *Signature) Describe() string {
+	parts := make([]string, len(s.Matchers))
+	for i, m := range s.Matchers {
+		parts[i] = m.Describe()
+	}
+	return fmt.Sprintf("%s[%s]: %s", s.Product, s.Name, strings.Join(parts, " AND "))
+}
+
+// Registry holds signatures, in the style of WhatWeb's plugin set.
+type Registry struct {
+	mu   sync.RWMutex
+	sigs []*Signature
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a signature. Registration order is preserved.
+func (r *Registry) Register(sig *Signature) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sigs = append(r.sigs, sig)
+}
+
+// Signatures returns the registered signatures.
+func (r *Registry) Signatures() []*Signature {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Signature, len(r.sigs))
+	copy(out, r.sigs)
+	return out
+}
+
+// Match is one validated product observation on a host.
+type Match struct {
+	Addr      netip.Addr
+	Port      uint16
+	Path      string
+	Product   string
+	Signature string
+	// Evidence is the matched response's status line.
+	Evidence string
+}
+
+// Engine probes hosts and evaluates signatures.
+type Engine struct {
+	// Vantage is the probing host.
+	Vantage *netsim.Host
+	// Registry supplies the signatures; nil uses the package default
+	// (Table 2).
+	Registry *Registry
+	// Probes overrides DefaultProbes when non-empty.
+	Probes []Probe
+	// Timeout bounds each probe (default 5s).
+	Timeout time.Duration
+}
+
+func (e *Engine) registry() *Registry {
+	if e.Registry != nil {
+		return e.Registry
+	}
+	return DefaultRegistry()
+}
+
+func (e *Engine) probes() []Probe {
+	if len(e.Probes) > 0 {
+		return e.Probes
+	}
+	return DefaultProbes
+}
+
+func (e *Engine) timeout() time.Duration {
+	if e.Timeout > 0 {
+		return e.Timeout
+	}
+	return 5 * time.Second
+}
+
+// Identify probes addr and returns every signature match, sorted by
+// (product, port).
+func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error) {
+	if e.Vantage == nil {
+		return nil, fmt.Errorf("fingerprint: no vantage host")
+	}
+	var out []Match
+	for _, p := range e.probes() {
+		resp, ok := e.fetch(ctx, addr, p)
+		if !ok {
+			continue
+		}
+		for _, sig := range e.registry().Signatures() {
+			if sig.Matches(resp) {
+				out = append(out, Match{
+					Addr:      addr,
+					Port:      p.Port,
+					Path:      p.Path,
+					Product:   sig.Product,
+					Signature: sig.Name,
+					Evidence:  strings.TrimSpace(strings.SplitN(string(resp.RawHead), "\r\n", 2)[0]),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Product != out[j].Product {
+			return out[i].Product < out[j].Product
+		}
+		if out[i].Port != out[j].Port {
+			return out[i].Port < out[j].Port
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}
+
+// Products returns the distinct product names Identify found on addr.
+func (e *Engine) Products(ctx context.Context, addr netip.Addr) ([]string, error) {
+	matches, err := e.Identify(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, m := range matches {
+		set[m.Product] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe) (*httpwire.Response, bool) {
+	ctx, cancel := context.WithTimeout(ctx, e.timeout())
+	defer cancel()
+	conn, err := e.Vantage.Dial(ctx, addr, p.Port)
+	if err != nil {
+		return nil, false
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl) //nolint:errcheck // best-effort
+	}
+	req := &httpwire.Request{
+		Method: "GET",
+		Target: p.Path,
+		Proto:  "HTTP/1.1",
+		Header: httpwire.NewHeader("Host", addr.String(), "Connection", "close", "User-Agent", "WhatWeb-sim/0.4"),
+	}
+	if _, err := req.WriteTo(conn); err != nil {
+		return nil, false
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), false)
+	if err != nil {
+		return nil, false
+	}
+	return resp, true
+}

@@ -1,0 +1,136 @@
+// Package geo provides the IP-metadata substrate of §3.1: a MaxMind-style
+// geolocation database and a Team Cymru-style IP-to-ASN whois service with
+// a bulk-query client.
+//
+// The paper maps each validated URL-filter IP to a country (MaxMind) and
+// an autonomous system (Team Cymru whois). We implement both sides: the
+// databases, a line-oriented whois protocol server that can be mounted on
+// a simulated (or real) TCP listener, and the client the identification
+// pipeline uses.
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record is one geolocation database entry.
+type Record struct {
+	Prefix  netip.Prefix
+	Country string // ISO 3166-1 alpha-2
+}
+
+// DB is a longest-prefix-match geolocation database. The zero value is an
+// empty database ready for Add. DB is safe for concurrent use once built;
+// Add must not race with lookups.
+type DB struct {
+	mu      sync.RWMutex
+	records []Record
+	sorted  bool
+}
+
+// Add inserts a prefix→country mapping.
+func (db *DB) Add(prefix netip.Prefix, country string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.records = append(db.records, Record{Prefix: prefix.Masked(), Country: strings.ToUpper(country)})
+	db.sorted = false
+}
+
+// AddCIDR parses cidr and inserts it. It returns an error on a malformed
+// prefix.
+func (db *DB) AddCIDR(cidr, country string) error {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return fmt.Errorf("geo: bad prefix %q: %w", cidr, err)
+	}
+	db.Add(p, country)
+	return nil
+}
+
+// Country returns the country of the most specific prefix containing addr.
+func (db *DB) Country(addr netip.Addr) (string, bool) {
+	db.mu.Lock()
+	if !db.sorted {
+		// Most-specific-first so the first containing record wins.
+		sort.Slice(db.records, func(i, j int) bool {
+			return db.records[i].Prefix.Bits() > db.records[j].Prefix.Bits()
+		})
+		db.sorted = true
+	}
+	records := db.records
+	db.mu.Unlock()
+	for _, r := range records {
+		if r.Prefix.Contains(addr) {
+			return r.Country, true
+		}
+	}
+	return "", false
+}
+
+// Len returns the number of records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// ASRecord is one IP-to-ASN entry, mirroring the fields of a Team Cymru
+// verbose response.
+type ASRecord struct {
+	ASN      int
+	Name     string
+	Country  string
+	Registry string
+	Prefix   netip.Prefix
+}
+
+// ASTable answers IP→ASN queries with longest-prefix matching. The zero
+// value is ready to use.
+type ASTable struct {
+	mu      sync.RWMutex
+	records []ASRecord
+	sorted  bool
+}
+
+// Add inserts a record. Registry defaults to "assigned" when empty.
+func (t *ASTable) Add(rec ASRecord) {
+	if rec.Registry == "" {
+		rec.Registry = "assigned"
+	}
+	rec.Prefix = rec.Prefix.Masked()
+	rec.Country = strings.ToUpper(rec.Country)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, rec)
+	t.sorted = false
+}
+
+// Lookup returns the most specific record containing addr.
+func (t *ASTable) Lookup(addr netip.Addr) (ASRecord, bool) {
+	t.mu.Lock()
+	if !t.sorted {
+		sort.Slice(t.records, func(i, j int) bool {
+			return t.records[i].Prefix.Bits() > t.records[j].Prefix.Bits()
+		})
+		t.sorted = true
+	}
+	records := t.records
+	t.mu.Unlock()
+	for _, r := range records {
+		if r.Prefix.Contains(addr) {
+			return r, true
+		}
+	}
+	return ASRecord{}, false
+}
+
+// Len returns the number of records.
+func (t *ASTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}

@@ -1,0 +1,282 @@
+// Package identify implements the §3 identification pipeline end-to-end:
+//
+//  1. fan Table 2's product keywords out over the banner index, in
+//     combination with country filters ("in combination with each of the
+//     two letter country-code top-level domains, to maximize the set of
+//     results"),
+//  2. validate every candidate IP with the fingerprint engine (the
+//     WhatWeb stage) — the search stage is deliberately non-conservative
+//     and validation rejects its false positives,
+//  3. map validated IPs to country (geolocation database) and AS number
+//     (bulk whois), producing the per-product country map of Figure 1.
+package identify
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/geo"
+	"filtermap/internal/scanner"
+)
+
+// Installation is one validated URL-filter observation.
+type Installation struct {
+	Addr     netip.Addr
+	Hostname string
+	// Products lists validated product names on this host (a host can
+	// expose more than one).
+	Products []string
+	// Country is the geolocation database's answer ("" if unknown).
+	Country string
+	// ASN and ASName come from the whois lookup (0/"" if unknown).
+	ASN    int
+	ASName string
+	// Matches carries the full fingerprint evidence.
+	Matches []fingerprint.Match
+}
+
+// HasProduct reports whether the installation validated as product.
+func (i *Installation) HasProduct(product string) bool {
+	for _, p := range i.Products {
+		if p == product {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the pipeline outcome.
+type Report struct {
+	// Installations are the validated hosts, sorted by address.
+	Installations []Installation
+	// CandidateCount is how many distinct IPs keyword search surfaced.
+	CandidateCount int
+	// ValidatedCount is how many survived fingerprint validation.
+	ValidatedCount int
+	// CandidatesByProduct maps product -> candidate addresses from the
+	// keyword stage (before validation).
+	CandidatesByProduct map[string][]netip.Addr
+}
+
+// ProductCountries maps each product to the sorted set of countries where
+// it was validated — the content of Figure 1.
+func (r *Report) ProductCountries() map[string][]string {
+	set := make(map[string]map[string]bool)
+	for _, inst := range r.Installations {
+		if inst.Country == "" {
+			continue
+		}
+		for _, p := range inst.Products {
+			if set[p] == nil {
+				set[p] = make(map[string]bool)
+			}
+			set[p][inst.Country] = true
+		}
+	}
+	out := make(map[string][]string, len(set))
+	for p, countries := range set {
+		list := make([]string, 0, len(countries))
+		for c := range countries {
+			list = append(list, c)
+		}
+		sort.Strings(list)
+		out[p] = list
+	}
+	return out
+}
+
+// InstallationsIn returns the validated installations of product within
+// country.
+func (r *Report) InstallationsIn(product, country string) []Installation {
+	var out []Installation
+	for _, inst := range r.Installations {
+		if inst.Country == country && inst.HasProduct(product) {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// FalsePositiveRate reports the fraction of keyword candidates that
+// validation rejected (the ablation §3.1 motivates: search is loose,
+// validation is the precision stage).
+func (r *Report) FalsePositiveRate() float64 {
+	if r.CandidateCount == 0 {
+		return 0
+	}
+	return float64(r.CandidateCount-r.ValidatedCount) / float64(r.CandidateCount)
+}
+
+// Pipeline wires the §3 stages together.
+type Pipeline struct {
+	// Index is the banner index to search (the Shodan stand-in).
+	Index *scanner.Index
+	// Fingerprinter validates candidates.
+	Fingerprinter *fingerprint.Engine
+	// GeoDB supplies country locations.
+	GeoDB *geo.DB
+	// Whois supplies IP-to-ASN mappings; nil skips AS resolution.
+	Whois *geo.WhoisClient
+	// Keywords maps product name -> search keywords; nil uses the Table 2
+	// defaults.
+	Keywords map[string][]string
+	// Countries is the ccTLD fan-out list; nil derives it from the index.
+	Countries []string
+	// SkipValidation disables the fingerprint stage (for the ablation
+	// benchmark only — production use keeps it on).
+	SkipValidation bool
+}
+
+func (p *Pipeline) keywords() map[string][]string {
+	if p.Keywords != nil {
+		return p.Keywords
+	}
+	return fingerprint.ShodanKeywords()
+}
+
+// Run executes the pipeline.
+func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
+	if p.Index == nil {
+		return nil, fmt.Errorf("identify: no banner index")
+	}
+
+	countries := p.Countries
+	if countries == nil {
+		countries = p.Index.Countries()
+	}
+
+	// Stage 1: keyword fan-out. Queries run bare and per-country; the
+	// union of hits per product forms the candidate set.
+	candidates := make(map[netip.Addr]bool)
+	candidatesByProduct := make(map[string][]netip.Addr)
+	for product, kws := range p.keywords() {
+		seen := make(map[netip.Addr]bool)
+		for _, kw := range kws {
+			queries := []string{kw}
+			for _, cc := range countries {
+				queries = append(queries, fmt.Sprintf("%s country:%s", kw, cc))
+			}
+			for _, q := range queries {
+				hits, err := p.Index.SearchString(q)
+				if err != nil {
+					return nil, fmt.Errorf("identify: query %q: %w", q, err)
+				}
+				for _, b := range hits {
+					if !seen[b.Addr] {
+						seen[b.Addr] = true
+						candidatesByProduct[product] = append(candidatesByProduct[product], b.Addr)
+					}
+					candidates[b.Addr] = true
+				}
+			}
+		}
+		sort.Slice(candidatesByProduct[product], func(i, j int) bool {
+			return candidatesByProduct[product][i].Less(candidatesByProduct[product][j])
+		})
+	}
+
+	addrs := make([]netip.Addr, 0, len(candidates))
+	for a := range candidates {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	report := &Report{
+		CandidateCount:      len(addrs),
+		CandidatesByProduct: candidatesByProduct,
+	}
+
+	// Stage 2: validation.
+	type validated struct {
+		addr     netip.Addr
+		products []string
+		matches  []fingerprint.Match
+	}
+	var vals []validated
+	for _, addr := range addrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if p.SkipValidation {
+			vals = append(vals, validated{addr: addr, products: productsFromCandidates(candidatesByProduct, addr)})
+			continue
+		}
+		matches, err := p.Fingerprinter.Identify(ctx, addr)
+		if err != nil {
+			return nil, fmt.Errorf("identify: fingerprint %s: %w", addr, err)
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		set := make(map[string]bool)
+		var products []string
+		for _, m := range matches {
+			if !set[m.Product] {
+				set[m.Product] = true
+				products = append(products, m.Product)
+			}
+		}
+		sort.Strings(products)
+		vals = append(vals, validated{addr: addr, products: products, matches: matches})
+	}
+	report.ValidatedCount = len(vals)
+
+	// Stage 3: geo/AS mapping.
+	valAddrs := make([]netip.Addr, len(vals))
+	for i, v := range vals {
+		valAddrs[i] = v.addr
+	}
+	whoisResults := make(map[netip.Addr]geo.WhoisResult)
+	if p.Whois != nil && len(valAddrs) > 0 {
+		results, err := p.Whois.Lookup(ctx, valAddrs)
+		if err != nil {
+			return nil, fmt.Errorf("identify: whois: %w", err)
+		}
+		for _, r := range results {
+			whoisResults[r.Addr] = r
+		}
+	}
+
+	for _, v := range vals {
+		inst := Installation{Addr: v.addr, Products: v.products, Matches: v.matches}
+		if p.Fingerprinter != nil && p.Fingerprinter.Vantage != nil {
+			if name, ok := p.Fingerprinter.Vantage.Network().ReverseLookup(v.addr); ok {
+				inst.Hostname = name
+			}
+		}
+		if p.GeoDB != nil {
+			if c, ok := p.GeoDB.Country(v.addr); ok {
+				inst.Country = c
+			}
+		}
+		if w, ok := whoisResults[v.addr]; ok && w.Found {
+			inst.ASN = w.ASN
+			inst.ASName = w.ASName
+			if inst.Country == "" {
+				inst.Country = w.Country
+			}
+		}
+		report.Installations = append(report.Installations, inst)
+	}
+	sort.Slice(report.Installations, func(i, j int) bool {
+		return report.Installations[i].Addr.Less(report.Installations[j].Addr)
+	})
+	return report, nil
+}
+
+func productsFromCandidates(byProduct map[string][]netip.Addr, addr netip.Addr) []string {
+	var out []string
+	for product, addrs := range byProduct {
+		for _, a := range addrs {
+			if a == addr {
+				out = append(out, product)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

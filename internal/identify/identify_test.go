@@ -1,0 +1,235 @@
+package identify
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/geo"
+	"filtermap/internal/httpwire"
+	"filtermap/internal/netsim"
+	"filtermap/internal/scanner"
+)
+
+// fixture: a genuine Netsweeper console, a genuine McAfee gateway, and a
+// decoy blog that mentions both; geolocation and whois wired up.
+type fixture struct {
+	net      *netsim.Network
+	pipeline *Pipeline
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	n := netsim.New(nil)
+	t.Cleanup(n.Close)
+
+	vantage, err := n.AddHost(netip.MustParseAddr("198.108.1.10"), "scan.example", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	geoDB := &geo.DB{}
+	asTable := &geo.ASTable{}
+	addNet := func(asn int, name, cc, cidr string) {
+		p := netip.MustParsePrefix(cidr)
+		geoDB.Add(p, cc)
+		asTable.Add(geo.ASRecord{ASN: asn, Name: name, Country: cc, Prefix: p})
+	}
+	addNet(12486, "YEMENNET", "YE", "82.114.160.0/19")
+	addNet(48237, "BAYANAT", "SA", "77.30.0.0/16")
+	addNet(64553, "BLOGHOST", "US", "205.140.0.0/16")
+	addNet(237, "RESEARCH", "US", "198.108.0.0/16")
+
+	serve := func(ip, name string, port uint16, h httpwire.Handler) {
+		host, err := n.AddHost(netip.MustParseAddr(ip), name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := host.Listen(port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &httpwire.Server{Handler: h}
+		go srv.Serve(l) //nolint:errcheck // ends with listener
+	}
+	static := func(hdr *httpwire.Header, body string) httpwire.Handler {
+		return httpwire.HandlerFunc(func(*httpwire.Request) *httpwire.Response {
+			return httpwire.NewResponse(200, hdr.Clone(), []byte(body))
+		})
+	}
+
+	serve("82.114.160.1", "ns1.yemen.net.ye", 8080,
+		static(httpwire.NewHeader("Server", "Apache (Netsweeper WebAdmin)", "Content-Type", "text/html"),
+			"<title>Netsweeper WebAdmin Login</title>"))
+	serve("77.30.1.1", "mwg1.bayanat.net.sa", 80,
+		static(httpwire.NewHeader("Via-Proxy", "mwg1", "Content-Type", "text/html"),
+			"<title>McAfee Web Gateway</title>"))
+	serve("205.140.1.1", "techblog.example", 80,
+		static(httpwire.NewHeader("Server", "nginx", "Content-Type", "text/html"),
+			"<title>Blog</title><p>netsweeper webadmin mcafee web gateway url blocked proxysg cfru=</p>"))
+
+	// Whois service.
+	whoisHost, err := n.AddHost(netip.MustParseAddr("38.229.1.1"), "whois.example", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := whoisHost.Listen(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsrv := &geo.WhoisServer{Table: asTable}
+	go wsrv.Serve(wl) //nolint:errcheck // ends with listener
+
+	sc := &scanner.Scanner{Vantage: vantage, Timeout: 2 * time.Second}
+	index, err := sc.ScanNetwork(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return &fixture{
+		net: n,
+		pipeline: &Pipeline{
+			Index:         index,
+			Fingerprinter: &fingerprint.Engine{Vantage: vantage, Timeout: 2 * time.Second},
+			GeoDB:         geoDB,
+			Whois: &geo.WhoisClient{Dial: func(ctx context.Context) (net.Conn, error) {
+				return vantage.Dial(ctx, netip.MustParseAddr("38.229.1.1"), 43)
+			}},
+		},
+	}
+}
+
+func TestPipelineValidatesAndMaps(t *testing.T) {
+	f := newFixture(t)
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Installations) != 2 {
+		t.Fatalf("installations = %d, want 2 (decoy rejected)", len(rep.Installations))
+	}
+	byHost := map[string]Installation{}
+	for _, inst := range rep.Installations {
+		byHost[inst.Hostname] = inst
+	}
+	ns := byHost["ns1.yemen.net.ye"]
+	if !ns.HasProduct(fingerprint.ProductNetsweeper) || ns.Country != "YE" || ns.ASN != 12486 {
+		t.Fatalf("netsweeper installation = %+v", ns)
+	}
+	mwg := byHost["mwg1.bayanat.net.sa"]
+	if !mwg.HasProduct(fingerprint.ProductSmartFilter) || mwg.Country != "SA" || mwg.ASN != 48237 {
+		t.Fatalf("smartfilter installation = %+v", mwg)
+	}
+	if mwg.ASName == "" {
+		t.Fatal("AS name not resolved via whois")
+	}
+}
+
+func TestPipelineCountsFalsePositives(t *testing.T) {
+	f := newFixture(t)
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoy is a candidate for several products but validates for
+	// none.
+	if rep.CandidateCount <= rep.ValidatedCount {
+		t.Fatalf("candidates %d, validated %d: expected false positives", rep.CandidateCount, rep.ValidatedCount)
+	}
+	if rep.FalsePositiveRate() <= 0 || rep.FalsePositiveRate() >= 1 {
+		t.Fatalf("fp rate = %f", rep.FalsePositiveRate())
+	}
+}
+
+func TestPipelineSkipValidation(t *testing.T) {
+	f := newFixture(t)
+	f.pipeline.SkipValidation = true
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without validation the decoy survives.
+	if rep.ValidatedCount != rep.CandidateCount {
+		t.Fatalf("skip-validation kept %d of %d", rep.ValidatedCount, rep.CandidateCount)
+	}
+	found := false
+	for _, inst := range rep.Installations {
+		if inst.Hostname == "techblog.example" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("decoy absent despite skipped validation")
+	}
+}
+
+func TestProductCountries(t *testing.T) {
+	f := newFixture(t)
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := rep.ProductCountries()
+	if got := pc[fingerprint.ProductNetsweeper]; len(got) != 1 || got[0] != "YE" {
+		t.Fatalf("netsweeper countries = %v", got)
+	}
+	if got := pc[fingerprint.ProductSmartFilter]; len(got) != 1 || got[0] != "SA" {
+		t.Fatalf("smartfilter countries = %v", got)
+	}
+}
+
+func TestInstallationsIn(t *testing.T) {
+	f := newFixture(t)
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.InstallationsIn(fingerprint.ProductNetsweeper, "YE"); len(got) != 1 {
+		t.Fatalf("InstallationsIn(NE, YE) = %d", len(got))
+	}
+	if got := rep.InstallationsIn(fingerprint.ProductNetsweeper, "SA"); len(got) != 0 {
+		t.Fatalf("InstallationsIn(NE, SA) = %d", len(got))
+	}
+}
+
+func TestPipelineWithoutWhois(t *testing.T) {
+	f := newFixture(t)
+	f.pipeline.Whois = nil
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range rep.Installations {
+		if inst.ASN != 0 {
+			t.Fatal("ASN resolved without whois")
+		}
+		if inst.Country == "" {
+			t.Fatal("country should still come from the geolocation DB")
+		}
+	}
+}
+
+func TestPipelineNoIndex(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := p.Run(context.Background()); err == nil {
+		t.Fatal("pipeline without index succeeded")
+	}
+}
+
+func TestPipelineExplicitCountryFanout(t *testing.T) {
+	f := newFixture(t)
+	// Restrict the fan-out to one country: results must be unchanged
+	// because bare keyword queries run regardless (the country filter only
+	// adds results in the real Shodan, never removes).
+	f.pipeline.Countries = []string{"YE"}
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Installations) != 2 {
+		t.Fatalf("installations = %d", len(rep.Installations))
+	}
+}

@@ -1,0 +1,134 @@
+package measurement
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Result persistence: ONI-style runs are archived for later analysis (the
+// paper publishes its data at a stable URL). JSON lines carry the full
+// verdict detail; CSV is the flat form for spreadsheets.
+
+// exportRecord is the serialized form of one Result.
+type exportRecord struct {
+	URL           string    `json:"url"`
+	Verdict       string    `json:"verdict"`
+	TestedAt      time.Time `json:"tested_at"`
+	FieldStatus   int       `json:"field_status,omitempty"`
+	FieldHops     int       `json:"field_hops,omitempty"`
+	FieldError    string    `json:"field_error,omitempty"`
+	LabStatus     int       `json:"lab_status,omitempty"`
+	LabError      string    `json:"lab_error,omitempty"`
+	BlockProduct  string    `json:"block_product,omitempty"`
+	BlockPattern  string    `json:"block_pattern,omitempty"`
+	BlockCategory string    `json:"block_category,omitempty"`
+}
+
+func toRecord(r Result) exportRecord {
+	rec := exportRecord{
+		URL:      r.URL,
+		Verdict:  r.Verdict.String(),
+		TestedAt: r.TestedAt,
+	}
+	if final := r.Field.Final(); final != nil {
+		rec.FieldStatus = final.StatusCode
+	}
+	rec.FieldHops = len(r.Field.Chain)
+	if r.Field.Err != nil {
+		rec.FieldError = r.Field.Err.Error()
+	}
+	if final := r.Lab.Final(); final != nil {
+		rec.LabStatus = final.StatusCode
+	}
+	if r.Lab.Err != nil {
+		rec.LabError = r.Lab.Err.Error()
+	}
+	if r.Matched {
+		rec.BlockProduct = r.BlockMatch.Product
+		rec.BlockPattern = r.BlockMatch.Pattern
+		rec.BlockCategory = r.BlockMatch.Category
+	}
+	return rec
+}
+
+// WriteJSON serializes results as JSON lines.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		rec := toRecord(r)
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("measurement: write json: %w", err)
+		}
+	}
+	return nil
+}
+
+// csvHeader is the flat export's column set.
+var csvHeader = []string{
+	"url", "verdict", "tested_at",
+	"field_status", "field_hops", "field_error",
+	"lab_status", "lab_error",
+	"block_product", "block_pattern", "block_category",
+}
+
+// WriteCSV serializes results as CSV with a header row.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("measurement: write csv: %w", err)
+	}
+	for _, r := range results {
+		rec := toRecord(r)
+		row := []string{
+			rec.URL, rec.Verdict, rec.TestedAt.UTC().Format(time.RFC3339),
+			strconv.Itoa(rec.FieldStatus), strconv.Itoa(rec.FieldHops), rec.FieldError,
+			strconv.Itoa(rec.LabStatus), rec.LabError,
+			rec.BlockProduct, rec.BlockPattern, rec.BlockCategory,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("measurement: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJSON loads JSON-lines results back into summary-usable form. Only
+// the exported fields round-trip; raw response chains are not archived.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	dec := json.NewDecoder(r)
+	var out []Result
+	for {
+		var rec exportRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("measurement: read json: %w", err)
+		}
+		res := Result{URL: rec.URL, TestedAt: rec.TestedAt}
+		switch rec.Verdict {
+		case "accessible":
+			res.Verdict = Accessible
+		case "blocked":
+			res.Verdict = Blocked
+		case "unreachable":
+			res.Verdict = Unreachable
+		case "anomaly":
+			res.Verdict = Anomaly
+		default:
+			return nil, fmt.Errorf("measurement: read json: unknown verdict %q", rec.Verdict)
+		}
+		if rec.BlockProduct != "" {
+			res.Matched = true
+			res.BlockMatch.Product = rec.BlockProduct
+			res.BlockMatch.Pattern = rec.BlockPattern
+			res.BlockMatch.Category = rec.BlockCategory
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

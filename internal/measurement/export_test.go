@@ -1,0 +1,84 @@
+package measurement
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func exportFixtureResults(t *testing.T) []Result {
+	t.Helper()
+	f := newFixture(t)
+	return f.client.TestList(context.Background(), []string{
+		"http://allowed.example/",
+		"http://banned.example/",
+		"http://no-such-site.example/",
+	})
+}
+
+func TestWriteAndReadJSON(t *testing.T) {
+	results := exportFixtureResults(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("json lines = %d", lines)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("loaded = %d", len(loaded))
+	}
+	for i := range results {
+		if loaded[i].URL != results[i].URL || loaded[i].Verdict != results[i].Verdict {
+			t.Fatalf("record %d: %+v != %+v", i, loaded[i], results[i])
+		}
+	}
+	// Block attribution round-trips and summaries agree.
+	a, b := Summarize(results), Summarize(loaded)
+	if a.Blocked != b.Blocked || a.ByProduct["Netsweeper"] != b.ByProduct["Netsweeper"] {
+		t.Fatalf("summaries diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	results := exportFixtureResults(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d (want header + 3)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "url,verdict,tested_at") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "blocked") || !strings.Contains(buf.String(), "Netsweeper") {
+		t.Fatal("csv missing blocked attribution")
+	}
+}
+
+func TestReadJSONRejectsUnknownVerdict(t *testing.T) {
+	in := `{"url":"http://x/","verdict":"sideways"}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown verdict accepted")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONEmpty(t *testing.T) {
+	out, err := ReadJSON(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty read = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package measurement implements §4.1's in-network testing: a measurement
+// client that fetches a URL list from a "field" vantage point (inside the
+// ISP under study) and triggers the same fetches from a "lab" vantage
+// point (the University of Toronto server, which does not censor), then
+// compares the results to decide whether each page was blocked.
+//
+// The products under study answer blocked requests with explicit block
+// pages (§4.1: "the products we test tend to use block pages that
+// explicitly state that content has been censored"), so the primary
+// verdict signal is block-page classification over the field redirect
+// chain; status/content divergence between field and lab is the fallback
+// signal for unattributed interference.
+package measurement
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"filtermap/internal/blockpage"
+	"filtermap/internal/httpwire"
+	"filtermap/internal/netsim"
+)
+
+// Verdict is the outcome of one URL test.
+type Verdict int
+
+const (
+	// Accessible means field and lab agree the page loads.
+	Accessible Verdict = iota
+	// Blocked means the field vantage received a recognized block page or
+	// demonstrably different content while the lab loaded the page.
+	Blocked
+	// Unreachable means both vantages failed — the site itself is down.
+	Unreachable
+	// Anomaly means the field failed in a way the corpus cannot attribute
+	// (timeouts, resets) while the lab succeeded. §4.1's chosen products
+	// rarely produce this, but the client must represent it.
+	Anomaly
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Accessible:
+		return "accessible"
+	case Blocked:
+		return "blocked"
+	case Unreachable:
+		return "unreachable"
+	case Anomaly:
+		return "anomaly"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Vantage is a measurement origin.
+type Vantage struct {
+	// Name labels the vantage in reports, e.g. "field:YemenNet" or
+	// "lab:Toronto".
+	Name string
+	// Host is the machine the fetches originate from.
+	Host *netsim.Host
+}
+
+// Client returns an HTTP client dialing from the vantage.
+func (v *Vantage) Client(timeout time.Duration) *httpwire.Client {
+	return &httpwire.Client{
+		Dial:      v.Host.Dialer(),
+		Timeout:   timeout,
+		UserAgent: "oni-measurement-client/2.1",
+	}
+}
+
+// Fetch is the raw outcome of one vantage's retrieval.
+type Fetch struct {
+	// Chain is the redirect chain (nil on dial failure).
+	Chain []*httpwire.Response
+	// Err is the transport error, if the fetch failed.
+	Err error
+}
+
+// Final returns the last response of the chain, or nil.
+func (f *Fetch) Final() *httpwire.Response {
+	if len(f.Chain) == 0 {
+		return nil
+	}
+	return f.Chain[len(f.Chain)-1]
+}
+
+// OK reports whether the fetch ended in a 2xx response.
+func (f *Fetch) OK() bool {
+	final := f.Final()
+	return f.Err == nil && final != nil && final.StatusCode >= 200 && final.StatusCode < 300
+}
+
+// Result is one URL's dual-vantage comparison.
+type Result struct {
+	URL      string
+	Field    Fetch
+	Lab      Fetch
+	Verdict  Verdict
+	TestedAt time.Time
+
+	// BlockMatch is the block-page classification when Verdict == Blocked
+	// and a corpus pattern matched.
+	BlockMatch blockpage.Match
+	// Matched reports whether BlockMatch is valid.
+	Matched bool
+}
+
+// Client is the dual-vantage measurement client.
+type Client struct {
+	// Field is the in-country vantage.
+	Field *Vantage
+	// Lab is the unfiltered comparison vantage.
+	Lab *Vantage
+	// Classifier recognizes vendor block pages; nil uses the default
+	// corpus.
+	Classifier *blockpage.Classifier
+	// Timeout bounds each fetch (default 10s).
+	Timeout time.Duration
+	// MaxRedirects bounds each redirect chain (default 10).
+	MaxRedirects int
+}
+
+func (c *Client) classifier() *blockpage.Classifier {
+	if c.Classifier != nil {
+		return c.Classifier
+	}
+	return blockpage.NewClassifier(nil)
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+// TestURL measures one URL from both vantages and compares.
+func (c *Client) TestURL(ctx context.Context, rawurl string) Result {
+	res := Result{URL: rawurl, TestedAt: c.Field.Host.Network().Clock().Now()}
+	res.Field = c.fetch(ctx, c.Field, rawurl)
+	res.Lab = c.fetch(ctx, c.Lab, rawurl)
+	res.Verdict, res.BlockMatch, res.Matched = c.compare(res.Field, res.Lab)
+	return res
+}
+
+// TestList measures each URL in order (§4.1 tests "short lists of URLs
+// that are amenable to manual analysis").
+func (c *Client) TestList(ctx context.Context, urls []string) []Result {
+	out := make([]Result, 0, len(urls))
+	for _, u := range urls {
+		out = append(out, c.TestURL(ctx, u))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out
+}
+
+// Repeat runs the whole list n times, returning one slice of results per
+// run. §4.4's inconsistent-blocking analysis needs repeated runs.
+func (c *Client) Repeat(ctx context.Context, urls []string, n int) [][]Result {
+	out := make([][]Result, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.TestList(ctx, urls))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out
+}
+
+func (c *Client) fetch(ctx context.Context, v *Vantage, rawurl string) Fetch {
+	client := v.Client(c.timeout())
+	if c.MaxRedirects > 0 {
+		client.MaxRedirects = c.MaxRedirects
+	}
+	chain, err := client.GetFollow(ctx, rawurl)
+	return Fetch{Chain: chain, Err: err}
+}
+
+// compare implements the verdict logic.
+func (c *Client) compare(field, lab Fetch) (Verdict, blockpage.Match, bool) {
+	// A recognized block page in the field chain is conclusive regardless
+	// of what the lab saw.
+	if m, ok := c.classifier().ClassifyChain(field.Chain); ok {
+		return Blocked, m, true
+	}
+	switch {
+	case field.OK() && lab.OK():
+		return Accessible, blockpage.Match{}, false
+	case !lab.OK():
+		// Without a working lab fetch, field failures say nothing about
+		// censorship.
+		return Unreachable, blockpage.Match{}, false
+	case field.Err != nil:
+		return Anomaly, blockpage.Match{}, false
+	default:
+		// Field got a response, no block page matched, but the lab
+		// succeeded where the field did not (4xx/5xx divergence).
+		return Anomaly, blockpage.Match{}, false
+	}
+}
+
+// Summary aggregates a result list.
+type Summary struct {
+	Total      int
+	Accessible int
+	Blocked    int
+	Anomalies  int
+	Unreached  int
+	// ByProduct counts blocked results per classified product.
+	ByProduct map[string]int
+}
+
+// Summarize tallies results.
+func Summarize(results []Result) Summary {
+	s := Summary{Total: len(results), ByProduct: make(map[string]int)}
+	for _, r := range results {
+		switch r.Verdict {
+		case Accessible:
+			s.Accessible++
+		case Blocked:
+			s.Blocked++
+			if r.Matched {
+				s.ByProduct[r.BlockMatch.Product]++
+			}
+		case Anomaly:
+			s.Anomalies++
+		case Unreachable:
+			s.Unreached++
+		}
+	}
+	return s
+}
+
+// ConsistencyReport describes how stable blocking was across repeated
+// runs of the same list (§4.4 challenge 2).
+type ConsistencyReport struct {
+	Runs int
+	// FlakyURLs lists URLs whose verdict changed between runs.
+	FlakyURLs []string
+	// AlwaysBlocked and NeverBlocked list URLs with stable verdicts.
+	AlwaysBlocked []string
+	NeverBlocked  []string
+}
+
+// Consistent reports whether no URL changed verdict.
+func (r *ConsistencyReport) Consistent() bool { return len(r.FlakyURLs) == 0 }
+
+// AnalyzeConsistency compares verdicts across repeated runs.
+func AnalyzeConsistency(runs [][]Result) ConsistencyReport {
+	rep := ConsistencyReport{Runs: len(runs)}
+	if len(runs) == 0 {
+		return rep
+	}
+	type tally struct{ blocked, total int }
+	byURL := make(map[string]*tally)
+	var order []string
+	for _, run := range runs {
+		for _, r := range run {
+			t, ok := byURL[r.URL]
+			if !ok {
+				t = &tally{}
+				byURL[r.URL] = t
+				order = append(order, r.URL)
+			}
+			t.total++
+			if r.Verdict == Blocked {
+				t.blocked++
+			}
+		}
+	}
+	for _, u := range order {
+		t := byURL[u]
+		switch {
+		case t.blocked == 0:
+			rep.NeverBlocked = append(rep.NeverBlocked, u)
+		case t.blocked == t.total:
+			rep.AlwaysBlocked = append(rep.AlwaysBlocked, u)
+		default:
+			rep.FlakyURLs = append(rep.FlakyURLs, u)
+		}
+	}
+	return rep
+}

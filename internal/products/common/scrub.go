@@ -1,0 +1,61 @@
+package common
+
+import (
+	"regexp"
+	"strings"
+
+	"filtermap/internal/httpwire"
+)
+
+// Scrubbing implements Table 5's second evasion tactic: "URL vendors may
+// also take steps to remove evidence of their products from protocol
+// headers which is fairly simple to do". A scrubbed product deletes its
+// identifying headers and blanks brand strings from page bodies.
+//
+// Scrubbing deliberately does NOT restructure functional URLs (deny-page
+// paths, block-page ports): relocating those would break deployed
+// configurations, which is why path- and port-shaped signatures
+// (Netsweeper's /webadmin/deny, Websense's :15871 ws-session redirect)
+// survive the tactic while header- and title-shaped ones (McAfee's
+// Via-Proxy and page title) do not. The evasion benchmark measures exactly
+// this split.
+
+// scrubbedHeaders are identity-carrying headers a scrubbing vendor drops.
+var scrubbedHeaders = []string{"Server", "Via", "Via-Proxy", "X-Powered-By"}
+
+// ScrubResponse removes identifying headers and blanks the given brand
+// tokens (case-insensitively) from the body. It returns the same response
+// for convenience.
+func ScrubResponse(resp *httpwire.Response, tokens []string) *httpwire.Response {
+	if resp == nil {
+		return nil
+	}
+	for _, h := range scrubbedHeaders {
+		resp.Header.Del(h)
+	}
+	if len(tokens) > 0 && len(resp.Body) > 0 {
+		resp.Body = scrubTokens(resp.Body, tokens)
+		resp.Header.Del("Content-Length") // re-derived on write
+	}
+	return resp
+}
+
+func scrubTokens(body []byte, tokens []string) []byte {
+	parts := make([]string, len(tokens))
+	for i, t := range tokens {
+		parts[i] = regexp.QuoteMeta(t)
+	}
+	re, err := regexp.Compile(`(?i)` + strings.Join(parts, "|"))
+	if err != nil {
+		return body
+	}
+	return re.ReplaceAll(body, nil)
+}
+
+// ScrubHandler wraps an HTTP handler so every response it produces is
+// scrubbed.
+func ScrubHandler(h httpwire.Handler, tokens []string) httpwire.Handler {
+	return httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+		return ScrubResponse(h.Handle(req), tokens)
+	})
+}

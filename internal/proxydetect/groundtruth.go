@@ -1,0 +1,125 @@
+package proxydetect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ground-truth validation: §7 proposes the paper's confirmation results
+// as "a useful ground truth for more general identification of
+// transparent proxies". Validation compares a signature-free survey
+// against the set of networks the §4 methodology confirmed as filtered,
+// yielding the precision/recall a scalable detector earns.
+
+// GroundTruth is the per-network confirmed state: true where the
+// confirmation methodology (or elementary absence of middleboxes)
+// established filtering.
+type GroundTruth map[string]bool
+
+// Validation is the survey-vs-ground-truth comparison.
+type Validation struct {
+	TruePositives  []string
+	TrueNegatives  []string
+	FalsePositives []string
+	FalseNegatives []string
+	// Errored lists networks whose probes failed outright (excluded from
+	// the counts).
+	Errored []string
+}
+
+// Precision returns TP/(TP+FP), or 1 when the detector flagged nothing.
+func (v *Validation) Precision() float64 {
+	flagged := len(v.TruePositives) + len(v.FalsePositives)
+	if flagged == 0 {
+		return 1
+	}
+	return float64(len(v.TruePositives)) / float64(flagged)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing was filtered.
+func (v *Validation) Recall() float64 {
+	actual := len(v.TruePositives) + len(v.FalseNegatives)
+	if actual == 0 {
+		return 1
+	}
+	return float64(len(v.TruePositives)) / float64(actual)
+}
+
+// Summary renders the comparison.
+func (v *Validation) Summary() string {
+	return fmt.Sprintf("precision %.2f recall %.2f (tp=%d tn=%d fp=%d fn=%d, %d errored)",
+		v.Precision(), v.Recall(),
+		len(v.TruePositives), len(v.TrueNegatives),
+		len(v.FalsePositives), len(v.FalseNegatives), len(v.Errored))
+}
+
+// Validate scores survey results against ground truth. Networks missing
+// from the ground truth are skipped.
+func Validate(results []SurveyResult, truth GroundTruth) *Validation {
+	v := &Validation{}
+	for _, r := range results {
+		filtered, known := truth[r.Label]
+		if !known {
+			continue
+		}
+		switch {
+		case r.Report.Err != nil:
+			v.Errored = append(v.Errored, r.Label)
+		case r.Report.Intercepted && filtered:
+			v.TruePositives = append(v.TruePositives, r.Label)
+		case !r.Report.Intercepted && !filtered:
+			v.TrueNegatives = append(v.TrueNegatives, r.Label)
+		case r.Report.Intercepted && !filtered:
+			v.FalsePositives = append(v.FalsePositives, r.Label)
+		default:
+			v.FalseNegatives = append(v.FalseNegatives, r.Label)
+		}
+	}
+	for _, s := range [][]string{v.TruePositives, v.TrueNegatives, v.FalsePositives, v.FalseNegatives, v.Errored} {
+		sort.Strings(s)
+	}
+	return v
+}
+
+// EvidenceHistogram tallies symptom kinds across a survey — which
+// middlebox behaviours dominate in the measured population.
+func EvidenceHistogram(results []SurveyResult) map[string]int {
+	out := make(map[string]int)
+	for _, r := range results {
+		if r.Report == nil {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, e := range r.Report.Evidence {
+			if !seen[e.Kind] {
+				seen[e.Kind] = true
+				out[e.Kind]++
+			}
+		}
+	}
+	return out
+}
+
+// FormatHistogram renders the histogram sorted by count then kind.
+func FormatHistogram(h map[string]int) string {
+	type kv struct {
+		k string
+		n int
+	}
+	rows := make([]kv, 0, len(h))
+	for k, n := range h {
+		rows = append(rows, kv{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %d\n", r.k, r.n)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package proxydetect
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"filtermap/internal/netsim"
+)
+
+func mkResult(label string, intercepted bool, err error) SurveyResult {
+	rep := &Report{Intercepted: intercepted, Err: err}
+	if intercepted {
+		rep.Evidence = []Evidence{{Kind: KindViaAdded, Detail: "x"}}
+	}
+	return SurveyResult{Label: label, Report: rep}
+}
+
+func TestValidatePerfectDetector(t *testing.T) {
+	results := []SurveyResult{
+		mkResult("filtered-1", true, nil),
+		mkResult("filtered-2", true, nil),
+		mkResult("clean-1", false, nil),
+	}
+	truth := GroundTruth{"filtered-1": true, "filtered-2": true, "clean-1": false}
+	v := Validate(results, truth)
+	if v.Precision() != 1 || v.Recall() != 1 {
+		t.Fatalf("perfect detector scored %s", v.Summary())
+	}
+	if len(v.TruePositives) != 2 || len(v.TrueNegatives) != 1 {
+		t.Fatalf("counts = %s", v.Summary())
+	}
+}
+
+func TestValidateMisses(t *testing.T) {
+	results := []SurveyResult{
+		mkResult("filtered-1", false, nil), // missed
+		mkResult("clean-1", true, nil),     // overflagged
+		mkResult("unknown", true, nil),     // not in truth: ignored
+		mkResult("broken", false, context.DeadlineExceeded),
+	}
+	truth := GroundTruth{"filtered-1": true, "clean-1": false, "broken": true}
+	v := Validate(results, truth)
+	if len(v.FalseNegatives) != 1 || v.FalseNegatives[0] != "filtered-1" {
+		t.Fatalf("fn = %v", v.FalseNegatives)
+	}
+	if len(v.FalsePositives) != 1 || v.FalsePositives[0] != "clean-1" {
+		t.Fatalf("fp = %v", v.FalsePositives)
+	}
+	if len(v.Errored) != 1 {
+		t.Fatalf("errored = %v", v.Errored)
+	}
+	if v.Precision() != 0 || v.Recall() != 0 {
+		t.Fatalf("scores = %s", v.Summary())
+	}
+}
+
+func TestValidateEdgeScores(t *testing.T) {
+	// Nothing flagged, nothing filtered: both scores defined as 1.
+	v := Validate([]SurveyResult{mkResult("clean", false, nil)}, GroundTruth{"clean": false})
+	if v.Precision() != 1 || v.Recall() != 1 {
+		t.Fatalf("empty scores = %s", v.Summary())
+	}
+}
+
+func TestValidateAgainstLiveFixture(t *testing.T) {
+	f := newFixture(t)
+	results := Survey(context.Background(), f.refHost, mapOf(f))
+	truth := GroundTruth{"clean": false, "proxied": true, "blocked": true}
+	v := Validate(results, truth)
+	if v.Precision() != 1 || v.Recall() != 1 {
+		t.Fatalf("live fixture scored %s", v.Summary())
+	}
+}
+
+func mapOf(f *fixture) map[string]*netsim.Host {
+	return map[string]*netsim.Host{
+		"clean":   f.clean,
+		"proxied": f.proxied,
+		"blocked": f.blocked,
+	}
+}
+
+func TestEvidenceHistogram(t *testing.T) {
+	f := newFixture(t)
+	results := Survey(context.Background(), f.refHost, mapOf(f))
+	h := EvidenceHistogram(results)
+	if h[KindShortCircuited] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if h[KindViaAdded] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	out := FormatHistogram(h)
+	if !strings.Contains(out, KindViaAdded) {
+		t.Fatalf("formatted = %q", out)
+	}
+}

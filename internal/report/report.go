@@ -1,0 +1,232 @@
+// Package report renders the paper's tables and figure as text, in the
+// same rows and columns the paper prints. The reproduction harness
+// (cmd/fmrepro and the root benchmarks) uses these renderers so a reader
+// can diff harness output against the paper directly.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"filtermap/internal/characterize"
+	"filtermap/internal/confirm"
+	"filtermap/internal/identify"
+	"filtermap/internal/urllist"
+)
+
+// Table renders an ASCII table with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// ProductInventoryRow is one Table 1 row.
+type ProductInventoryRow struct {
+	Company            string
+	Headquarters       string
+	ProductDescription string
+	PreviouslyObserved string
+}
+
+// Table1 renders the product inventory.
+func Table1(rows []ProductInventoryRow) string {
+	t := &Table{
+		Title:   "Table 1: Summary of products considered.",
+		Headers: []string{"Company", "Headquarters", "Product description", "Previously observed"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Company, r.Headquarters, r.ProductDescription, r.PreviouslyObserved)
+	}
+	return t.String()
+}
+
+// DefaultProductInventory returns the paper's Table 1 contents.
+func DefaultProductInventory() []ProductInventoryRow {
+	return []ProductInventoryRow{
+		{"Blue Coat", "Sunnyvale, CA, USA", "Web proxy (ProxySG) and URL Filter (WebFilter)",
+			"Kuwait, Burma, Egypt, Qatar, Saudi Arabia, Syria, UAE"},
+		{"McAfee SmartFilter", "Santa Clara, CA, USA", "Filtering of Web content for enterprises",
+			"Kuwait, Bahrain, Iran, Saudi Arabia, Oman, Tunisia, UAE"},
+		{"Netsweeper", "Guelph, ON, Canada", "Netsweeper Content Filtering",
+			"Qatar, UAE, Yemen"},
+		{"Websense", "San Diego, CA, USA", "Web proxy gateways incl. data-leakage monitoring",
+			"Yemen (prior to 2009)"},
+	}
+}
+
+// Table2 renders the identification keyword/signature summary.
+func Table2(keywords map[string][]string, signatures map[string][]string) string {
+	t := &Table{
+		Title:   "Table 2: Identification keywords and validation signatures.",
+		Headers: []string{"Product", "Shodan keywords", "WhatWeb signature"},
+	}
+	products := make([]string, 0, len(keywords))
+	for p := range keywords {
+		products = append(products, p)
+	}
+	sort.Strings(products)
+	for _, p := range products {
+		t.AddRow(p, strings.Join(keywords[p], ", "), strings.Join(signatures[p], "; "))
+	}
+	return t.String()
+}
+
+// Table3 renders the confirmation case studies.
+func Table3(outcomes []*confirm.Outcome) string {
+	t := &Table{
+		Title:   "Table 3: Summary of URL filter case studies.",
+		Headers: []string{"Product", "Country", "ISP", "Date", "Sites submitted", "Category", "Sites blocked", "Confirmed?"},
+	}
+	for _, o := range outcomes {
+		c := o.Campaign
+		confirmed := "no"
+		if o.Confirmed {
+			confirmed = "YES"
+		}
+		t.AddRow(
+			c.Product,
+			c.Country,
+			fmt.Sprintf("%s (AS %d)", c.ISP, c.ASN),
+			c.Date,
+			o.SubmittedRatio(),
+			c.CategoryLabel,
+			o.Ratio(),
+			confirmed,
+		)
+	}
+	return t.String()
+}
+
+// Table4 renders the blocked-content matrix.
+func Table4(rows []characterize.MatrixRow) string {
+	cols := characterize.Table4Columns()
+	headers := []string{"Product", "Where"}
+	for _, c := range cols {
+		name := c
+		if cat, ok := urllist.CategoryByCode(c); ok {
+			name = cat.Name
+		}
+		headers = append(headers, name)
+	}
+	t := &Table{
+		Title:   "Table 4: Summary of Web content blocked by URL filtering products.",
+		Headers: headers,
+	}
+	for _, row := range rows {
+		cells := []string{row.Product, fmt.Sprintf("%s (AS %d)", row.Country, row.ASN)}
+		for _, c := range cols {
+			if row.Blocked[c] {
+				cells = append(cells, "x")
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Table5Row is one methods/limitations row.
+type Table5Row struct {
+	Step       string
+	Technique  string
+	Limitation string
+	Evasion    string
+	// Outcome summarizes what the evasion benchmark measured.
+	Outcome string
+}
+
+// Table5 renders the limitations/evasion summary with measured outcomes.
+func Table5(rows []Table5Row) string {
+	t := &Table{
+		Title:   "Table 5: Methods, limitations, evasion tactics — with measured outcomes.",
+		Headers: []string{"Step", "Technique", "Limitation", "Evasionary tactic", "Measured outcome"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Step, r.Technique, r.Limitation, r.Evasion, r.Outcome)
+	}
+	return t.String()
+}
+
+// Figure1 renders the product -> countries map as text.
+func Figure1(rep *identify.Report) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Locations of URL filter installations\n")
+	pc := rep.ProductCountries()
+	products := make([]string, 0, len(pc))
+	for p := range pc {
+		products = append(products, p)
+	}
+	sort.Strings(products)
+	for _, p := range products {
+		fmt.Fprintf(&b, "  %-20s %s\n", p+":", strings.Join(pc[p], " "))
+	}
+	fmt.Fprintf(&b, "  (%d candidate IPs from keyword search, %d validated; false-positive rate %.0f%%)\n",
+		rep.CandidateCount, rep.ValidatedCount, rep.FalsePositiveRate()*100)
+	return b.String()
+}
+
+// Installations renders the per-installation detail beneath Figure 1.
+func Installations(rep *identify.Report) string {
+	t := &Table{
+		Title:   "Validated installations",
+		Headers: []string{"IP", "Hostname", "Products", "Country", "ASN", "AS name"},
+	}
+	for _, inst := range rep.Installations {
+		t.AddRow(
+			inst.Addr.String(),
+			inst.Hostname,
+			strings.Join(inst.Products, ", "),
+			inst.Country,
+			fmt.Sprintf("%d", inst.ASN),
+			inst.ASName,
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"filtermap/internal/characterize"
+	"filtermap/internal/confirm"
+	"filtermap/internal/identify"
+	"filtermap/internal/urllist"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"A", "Blong"}}
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "Blong") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Columns aligned: every row has the separator at the same offset.
+	sep := strings.Index(lines[1], "|")
+	for _, l := range lines[2:] {
+		if strings.Index(l, "|") != sep {
+			t.Fatalf("misaligned row: %q", l)
+		}
+	}
+}
+
+func TestTable1ContainsAllVendors(t *testing.T) {
+	out := Table1(DefaultProductInventory())
+	for _, vendor := range []string{"Blue Coat", "McAfee SmartFilter", "Netsweeper", "Websense"} {
+		if !strings.Contains(out, vendor) {
+			t.Errorf("Table 1 missing %s", vendor)
+		}
+	}
+	for _, hq := range []string{"Sunnyvale", "Santa Clara", "Guelph", "San Diego"} {
+		if !strings.Contains(out, hq) {
+			t.Errorf("Table 1 missing headquarters %s", hq)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := Table2(
+		map[string][]string{"Netsweeper": {"netsweeper", "webadmin"}},
+		map[string][]string{"Netsweeper": {"built-in detection"}},
+	)
+	if !strings.Contains(out, "netsweeper, webadmin") || !strings.Contains(out, "built-in detection") {
+		t.Fatalf("Table 2 = %s", out)
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	o := &confirm.Outcome{
+		Campaign: &confirm.Campaign{
+			Product: "Netsweeper", Country: "YE", ISP: "YemenNet", ASN: 12486,
+			Date: "3/2013", CategoryLabel: "Proxy anonymizer",
+		},
+		Submitted:        []string{"a", "b", "c", "d", "e", "f"},
+		Controls:         []string{"g", "h", "i", "j", "k", "l"},
+		BlockedSubmitted: 6,
+		Confirmed:        true,
+	}
+	out := Table3([]*confirm.Outcome{o})
+	for _, want := range []string{"Netsweeper", "YemenNet (AS 12486)", "3/2013", "6/12", "6/6", "YES", "Proxy anonymizer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+	o.Confirmed = false
+	o.BlockedSubmitted = 0
+	out = Table3([]*confirm.Outcome{o})
+	if !strings.Contains(out, "0/6") || !strings.Contains(out, "no") {
+		t.Errorf("unconfirmed row wrong:\n%s", out)
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	rows := []characterize.MatrixRow{{
+		Product: "Netsweeper", Country: "YE", ASN: 12486,
+		Blocked: map[string]bool{
+			urllist.CatMediaFreedom: true,
+			urllist.CatLGBT:         true,
+		},
+	}}
+	out := Table4(rows)
+	if !strings.Contains(out, "Netsweeper") || !strings.Contains(out, "YE (AS 12486)") {
+		t.Fatalf("Table 4 = %s", out)
+	}
+	if !strings.Contains(out, "Media Freedom") {
+		t.Fatal("Table 4 missing column names")
+	}
+	if strings.Count(out, "x") < 2 {
+		t.Fatalf("Table 4 missing cell marks:\n%s", out)
+	}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	out := Table5([]Table5Row{{
+		Step: "Identify", Technique: "Port scans", Limitation: "visible only",
+		Evasion: "hide device", Outcome: "0 installs; 5/5 confirmed",
+	}})
+	for _, want := range []string{"Port scans", "hide device", "5/5 confirmed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 missing %q", want)
+		}
+	}
+}
+
+func TestFigure1Rendering(t *testing.T) {
+	rep := &identify.Report{
+		CandidateCount: 10,
+		ValidatedCount: 7,
+		Installations: []identify.Installation{
+			{Addr: netip.MustParseAddr("82.114.160.1"), Country: "YE", Products: []string{"Netsweeper"}},
+			{Addr: netip.MustParseAddr("77.30.1.1"), Country: "SA", Products: []string{"McAfee SmartFilter"}},
+		},
+	}
+	out := Figure1(rep)
+	if !strings.Contains(out, "Netsweeper:") || !strings.Contains(out, "YE") {
+		t.Fatalf("Figure 1 = %s", out)
+	}
+	if !strings.Contains(out, "false-positive rate 30%") {
+		t.Fatalf("Figure 1 missing fp rate: %s", out)
+	}
+}
+
+func TestInstallationsRendering(t *testing.T) {
+	rep := &identify.Report{
+		Installations: []identify.Installation{{
+			Addr: netip.MustParseAddr("82.114.160.1"), Hostname: "ns1.yemen.net.ye",
+			Products: []string{"Netsweeper"}, Country: "YE", ASN: 12486, ASName: "YEMENNET",
+		}},
+	}
+	out := Installations(rep)
+	for _, want := range []string{"82.114.160.1", "ns1.yemen.net.ye", "Netsweeper", "12486", "YEMENNET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Installations missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package scanner
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+func benchIndex(b *testing.B, n int) *Index {
+	b.Helper()
+	idx := NewIndex()
+	base := netip.MustParseAddr("10.0.0.0")
+	a := base
+	for i := 0; i < n; i++ {
+		a = a.Next()
+		raw := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: host-%d\r\nContent-Type: text/html\r\n", i)
+		if i%100 == 0 {
+			raw = "HTTP/1.1 200 OK\r\nServer: Apache (Netsweeper WebAdmin)\r\n"
+		}
+		idx.Add(Banner{
+			Addr:     a,
+			Port:     8080,
+			Hostname: fmt.Sprintf("h%d.example", i),
+			Country:  "US",
+			RawHead:  raw,
+		})
+	}
+	return idx
+}
+
+func BenchmarkSearchKeyword(b *testing.B) {
+	idx := benchIndex(b, 10000)
+	q, _ := ParseQuery("netsweeper")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := idx.Search(q); len(hits) != 100 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}
+
+func BenchmarkSearchWithFilters(b *testing.B) {
+	idx := benchIndex(b, 10000)
+	q, _ := ParseQuery("netsweeper country:US port:8080")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(q)
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(`"mcafee web gateway" country:sa port:8080`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

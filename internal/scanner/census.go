@@ -1,0 +1,92 @@
+package scanner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// Census-format persistence: §3.1 notes the methodology is "working
+// towards applying it on a larger scale with the Internet Census data".
+// The census format here is a line-oriented JSON dump of banner records,
+// so a scan performed once (or a third-party dataset converted into the
+// same shape) can be re-queried offline without re-probing anything.
+
+// censusRecord is the wire form of one banner.
+type censusRecord struct {
+	Addr        string    `json:"addr"`
+	Port        uint16    `json:"port"`
+	Hostname    string    `json:"hostname,omitempty"`
+	Country     string    `json:"country,omitempty"`
+	StatusLine  string    `json:"status_line,omitempty"`
+	RawHead     string    `json:"raw_head"`
+	BodyExcerpt string    `json:"body_excerpt,omitempty"`
+	ScannedAt   time.Time `json:"scanned_at"`
+}
+
+// WriteCensus serializes the index as JSON lines, sorted by (addr, port)
+// for reproducible output.
+func (x *Index) WriteCensus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, b := range x.All() {
+		rec := censusRecord{
+			Addr:        b.Addr.String(),
+			Port:        b.Port,
+			Hostname:    b.Hostname,
+			Country:     b.Country,
+			StatusLine:  b.StatusLine,
+			RawHead:     b.RawHead,
+			BodyExcerpt: b.BodyExcerpt,
+			ScannedAt:   b.ScannedAt,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("scanner: write census: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCensus loads a census dump into a fresh index. Malformed lines
+// abort with an error naming the line number.
+func ReadCensus(r io.Reader) (*Index, error) {
+	idx := NewIndex()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec censusRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("scanner: census line %d: %w", lineNo, err)
+		}
+		addr, err := netip.ParseAddr(rec.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: census line %d: bad addr %q", lineNo, rec.Addr)
+		}
+		if rec.Port == 0 {
+			return nil, fmt.Errorf("scanner: census line %d: missing port", lineNo)
+		}
+		idx.Add(Banner{
+			Addr:        addr,
+			Port:        rec.Port,
+			Hostname:    rec.Hostname,
+			Country:     rec.Country,
+			StatusLine:  rec.StatusLine,
+			RawHead:     rec.RawHead,
+			BodyExcerpt: rec.BodyExcerpt,
+			ScannedAt:   rec.ScannedAt,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scanner: read census: %w", err)
+	}
+	return idx, nil
+}

@@ -1,0 +1,82 @@
+package scanner
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"net/netip"
+)
+
+func TestCensusRoundTrip(t *testing.T) {
+	_, s := fixture(t)
+	idx, err := s.ScanNetwork(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteCensus(&buf); err != nil {
+		t.Fatalf("WriteCensus: %v", err)
+	}
+	loaded, err := ReadCensus(&buf)
+	if err != nil {
+		t.Fatalf("ReadCensus: %v", err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("loaded %d banners, want %d", loaded.Len(), idx.Len())
+	}
+	orig, got := idx.All(), loaded.All()
+	for i := range orig {
+		if orig[i].Addr != got[i].Addr || orig[i].Port != got[i].Port ||
+			orig[i].RawHead != got[i].RawHead || orig[i].Country != got[i].Country {
+			t.Fatalf("record %d: %+v != %+v", i, orig[i], got[i])
+		}
+	}
+	// Queries answer identically offline.
+	a, _ := idx.SearchString("netsweeper country:QA")
+	b, _ := loaded.SearchString("netsweeper country:QA")
+	if len(a) != len(b) {
+		t.Fatalf("offline query diverged: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestCensusDeterministicOutput(t *testing.T) {
+	idx := NewIndex()
+	idx.Add(Banner{Addr: netip.MustParseAddr("10.0.0.2"), Port: 80, RawHead: "b", ScannedAt: time.Unix(0, 0).UTC()})
+	idx.Add(Banner{Addr: netip.MustParseAddr("10.0.0.1"), Port: 80, RawHead: "a", ScannedAt: time.Unix(0, 0).UTC()})
+	var b1, b2 bytes.Buffer
+	idx.WriteCensus(&b1) //nolint:errcheck // buffer writes
+	idx.WriteCensus(&b2) //nolint:errcheck // buffer writes
+	if b1.String() != b2.String() {
+		t.Fatal("census output not deterministic")
+	}
+	if !strings.HasPrefix(b1.String(), `{"addr":"10.0.0.1"`) {
+		t.Fatalf("census not sorted: %s", b1.String())
+	}
+}
+
+func TestReadCensusRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"not-json\n",
+		`{"addr":"not-an-ip","port":80,"raw_head":"x"}` + "\n",
+		`{"addr":"10.0.0.1","raw_head":"x"}` + "\n", // missing port
+	}
+	for _, in := range cases {
+		if _, err := ReadCensus(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed census: %q", in)
+		}
+	}
+}
+
+func TestReadCensusSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"addr":"10.0.0.1","port":80,"raw_head":"HTTP/1.1 200 OK","scanned_at":"2013-01-01T00:00:00Z"}` + "\n\n"
+	idx, err := ReadCensus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("loaded %d", idx.Len())
+	}
+}

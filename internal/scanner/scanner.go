@@ -1,0 +1,415 @@
+// Package scanner implements the banner-scan-and-search substrate of §3.1:
+// the stand-in for the Shodan search engine and the Internet Census data.
+//
+// A Scanner sweeps address ranges from a vantage host, probing a port set
+// and recording what an unauthenticated HTTP GET returns — status line,
+// raw headers, and a body excerpt. The resulting Index supports the
+// keyword queries of Table 2 ("proxysg", "cfru=", "8080/webadmin/", ...)
+// with country: and port: filters, mirroring how the paper combines
+// keywords "with each of the two letter country-code top-level domains".
+//
+// The scanner is deliberately not conservative (§3.1: "we are not
+// conservative, and rely on the following step to confirm"): anything that
+// answers is indexed, and false positives are left for fingerprint
+// validation to reject.
+package scanner
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"filtermap/internal/httpwire"
+	"filtermap/internal/netsim"
+)
+
+// DefaultPorts is the port set swept when none is configured: the HTTP
+// ports where the paper's four products expose themselves.
+var DefaultPorts = []uint16{80, 443, 8080, 4712, 8082, 15871}
+
+// Banner is one indexed service observation.
+type Banner struct {
+	Addr netip.Addr
+	Port uint16
+	// Hostname is the reverse-DNS name at scan time ("" if none).
+	Hostname string
+	// Country is derived from the hostname's ccTLD when possible ("" if
+	// not derivable). Shodan exposes exactly this kind of weak location
+	// metadata; authoritative geolocation happens later in the pipeline.
+	Country string
+	// StatusLine is the response's first line, e.g. "HTTP/1.1 302 Found".
+	StatusLine string
+	// RawHead is the exact status line + header bytes.
+	RawHead string
+	// BodyExcerpt is the leading bytes of the body.
+	BodyExcerpt string
+	// ScannedAt is when the observation was made.
+	ScannedAt time.Time
+}
+
+// Text returns the searchable text of the banner: hostname, head and body
+// excerpt, lowercased.
+func (b *Banner) Text() string {
+	return strings.ToLower(b.Hostname + "\n" + b.RawHead + "\n" + b.BodyExcerpt)
+}
+
+// Scanner probes hosts and builds an Index.
+type Scanner struct {
+	// Vantage is the host the scan originates from (a neutral,
+	// unfiltered network position).
+	Vantage *netsim.Host
+	// Ports is the port sweep set; nil means DefaultPorts.
+	Ports []uint16
+	// BodyExcerptLen bounds indexed body bytes (default 2048).
+	BodyExcerptLen int
+	// Timeout bounds each probe (default 5s).
+	Timeout time.Duration
+	// Workers bounds concurrent probes (default 32).
+	Workers int
+}
+
+func (s *Scanner) ports() []uint16 {
+	if len(s.Ports) > 0 {
+		return s.Ports
+	}
+	return DefaultPorts
+}
+
+func (s *Scanner) excerptLen() int {
+	if s.BodyExcerptLen > 0 {
+		return s.BodyExcerptLen
+	}
+	return 2048
+}
+
+func (s *Scanner) timeout() time.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (s *Scanner) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return 32
+}
+
+// ScanAddrs probes every addr×port combination and returns an Index of
+// services that answered.
+func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) (*Index, error) {
+	if s.Vantage == nil {
+		return nil, fmt.Errorf("scanner: no vantage host")
+	}
+	type job struct {
+		addr netip.Addr
+		port uint16
+	}
+	jobs := make(chan job)
+	idx := NewIndex()
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if banner, ok := s.probe(ctx, j.addr, j.port); ok {
+					idx.Add(banner)
+				}
+			}
+		}()
+	}
+	for _, a := range addrs {
+		for _, p := range s.ports() {
+			select {
+			case jobs <- job{a, p}:
+			case <-ctx.Done():
+				close(jobs)
+				wg.Wait()
+				return idx, ctx.Err()
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return idx, nil
+}
+
+// ScanNetwork sweeps every registered host in the network.
+func (s *Scanner) ScanNetwork(ctx context.Context) (*Index, error) {
+	return s.ScanAddrs(ctx, s.Vantage.Network().Addrs())
+}
+
+// ScanPrefix sweeps every address of an IP prefix, census-style: unlike
+// ScanNetwork it does not know which addresses are allocated, so dark
+// space costs a (fast) refused connection per port. maxAddrs bounds the
+// sweep (0 means 65536, a /16).
+func (s *Scanner) ScanPrefix(ctx context.Context, prefix netip.Prefix, maxAddrs int) (*Index, error) {
+	if maxAddrs <= 0 {
+		maxAddrs = 1 << 16
+	}
+	var addrs []netip.Addr
+	for a := prefix.Addr(); prefix.Contains(a) && len(addrs) < maxAddrs; a = a.Next() {
+		addrs = append(addrs, a)
+	}
+	return s.ScanAddrs(ctx, addrs)
+}
+
+// probe performs one banner grab: TCP connect, plain GET /, read response.
+func (s *Scanner) probe(ctx context.Context, addr netip.Addr, port uint16) (Banner, bool) {
+	ctx, cancel := context.WithTimeout(ctx, s.timeout())
+	defer cancel()
+	conn, err := s.Vantage.Dial(ctx, addr, port)
+	if err != nil {
+		return Banner{}, false
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl) //nolint:errcheck // best-effort
+	}
+
+	req := &httpwire.Request{
+		Method: "GET",
+		Target: "/",
+		Proto:  "HTTP/1.0",
+		Header: httpwire.NewHeader("Host", addr.String(), "Connection", "close"),
+	}
+	if _, err := req.WriteTo(conn); err != nil {
+		return Banner{}, false
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), false)
+	if err != nil {
+		return Banner{}, false
+	}
+
+	network := s.Vantage.Network()
+	hostname, _ := network.ReverseLookup(addr)
+	excerpt := string(resp.Body)
+	if len(excerpt) > s.excerptLen() {
+		excerpt = excerpt[:s.excerptLen()]
+	}
+	head := string(resp.RawHead)
+	statusLine, _, _ := strings.Cut(head, "\r\n")
+	return Banner{
+		Addr:        addr,
+		Port:        port,
+		Hostname:    hostname,
+		Country:     CountryFromHostname(hostname),
+		StatusLine:  statusLine,
+		RawHead:     head,
+		BodyExcerpt: excerpt,
+		ScannedAt:   network.Clock().Now(),
+	}, true
+}
+
+// CountryFromHostname derives an upper-case country code from a ccTLD
+// ("ns1.qtel.com.qa" -> "QA"). Generic TLDs yield "".
+func CountryFromHostname(hostname string) string {
+	hostname = strings.TrimSuffix(strings.ToLower(hostname), ".")
+	i := strings.LastIndexByte(hostname, '.')
+	if i < 0 || len(hostname)-i-1 != 2 {
+		return ""
+	}
+	tld := hostname[i+1:]
+	if tld == "co" || !isAlpha(tld) {
+		return ""
+	}
+	return strings.ToUpper(tld)
+}
+
+func isAlpha(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// Index is a searchable collection of banners: the Shodan stand-in.
+type Index struct {
+	mu      sync.RWMutex
+	banners []Banner
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{}
+}
+
+// Add inserts a banner.
+func (x *Index) Add(b Banner) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.banners = append(x.banners, b)
+}
+
+// Len returns the number of indexed banners.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.banners)
+}
+
+// All returns every banner sorted by (addr, port).
+func (x *Index) All() []Banner {
+	x.mu.RLock()
+	out := make([]Banner, len(x.banners))
+	copy(out, x.banners)
+	x.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr.Less(out[j].Addr)
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Query is a parsed banner search: free keywords (all must match the
+// banner text, case-insensitively) plus optional filters.
+type Query struct {
+	Keywords []string
+	Country  string
+	Port     uint16
+}
+
+// ParseQuery parses the Shodan-style query language:
+//
+//	proxysg country:SA port:8080
+//
+// Unfiltered terms are substring keywords; "country:" and "port:" are
+// filters. Quotes group multi-word keywords: `"mcafee web gateway"`.
+func ParseQuery(q string) (Query, error) {
+	var out Query
+	for _, tok := range tokenize(q) {
+		switch {
+		case strings.HasPrefix(strings.ToLower(tok), "country:"):
+			out.Country = strings.ToUpper(tok[len("country:"):])
+		case strings.HasPrefix(strings.ToLower(tok), "port:"):
+			var p int
+			if _, err := fmt.Sscanf(tok[len("port:"):], "%d", &p); err != nil || p < 1 || p > 65535 {
+				return Query{}, fmt.Errorf("scanner: bad port filter %q", tok)
+			}
+			out.Port = uint16(p)
+		default:
+			out.Keywords = append(out.Keywords, strings.ToLower(tok))
+		}
+	}
+	return out, nil
+}
+
+// tokenize splits on spaces, honouring double quotes.
+func tokenize(q string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range q {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == ' ' && !inQuote:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// Search runs a parsed query.
+func (x *Index) Search(q Query) []Banner {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []Banner
+	for _, b := range x.banners {
+		if q.Port != 0 && b.Port != q.Port {
+			continue
+		}
+		if q.Country != "" && b.Country != q.Country {
+			continue
+		}
+		text := b.Text()
+		// Port-qualified keywords like "8080/webadmin/" match the
+		// combination of listening port and path evidence.
+		ok := true
+		for _, kw := range q.Keywords {
+			if !matchKeyword(b, text, kw) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr.Less(out[j].Addr)
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// SearchString parses and runs q.
+func (x *Index) SearchString(q string) ([]Banner, error) {
+	parsed, err := ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return x.Search(parsed), nil
+}
+
+// matchKeyword matches one keyword against a banner. Keywords of the form
+// "8080/path" additionally require the banner's port.
+func matchKeyword(b Banner, text, kw string) bool {
+	if i := strings.IndexByte(kw, '/'); i > 0 {
+		if port, err := parsePort(kw[:i]); err == nil {
+			return b.Port == port && strings.Contains(text, strings.ToLower(kw[i:]))
+		}
+	}
+	return strings.Contains(text, kw)
+}
+
+func parsePort(s string) (uint16, error) {
+	var p int
+	if _, err := fmt.Sscanf(s, "%d", &p); err != nil {
+		return 0, err
+	}
+	if p < 1 || p > 65535 {
+		return 0, fmt.Errorf("out of range")
+	}
+	return uint16(p), nil
+}
+
+// Countries returns the distinct banner countries, sorted.
+func (x *Index) Countries() []string {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, b := range x.banners {
+		if b.Country != "" {
+			set[b.Country] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

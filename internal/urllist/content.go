@@ -1,0 +1,113 @@
+package urllist
+
+import (
+	"fmt"
+	"strings"
+
+	"filtermap/internal/httpwire"
+)
+
+// BenignImagePath is the path testers fetch on adult-image hosts to avoid
+// exposure to the offensive content (§4.6: "we had them access a benign
+// image file located on the host"). Blocking is at hostname granularity,
+// so the shield does not change results.
+const BenignImagePath = "/benign.png"
+
+// Handler returns the origin-server handler for a domain with the given
+// profile. Every researcher test domain and research-list site in the
+// simulated world serves through this.
+func Handler(p Profile) httpwire.Handler {
+	switch p.Kind {
+	case GlypeProxy:
+		return httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+			return glypePage(p.Domain, req)
+		})
+	case AdultImage:
+		return httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+			return adultImageSite(p.Domain, req)
+		})
+	case ListContent:
+		return httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+			return listContentPage(p, req)
+		})
+	default:
+		return httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+			return benignPage(p.Domain, req)
+		})
+	}
+}
+
+func htmlResp(status int, title, body string) *httpwire.Response {
+	page := fmt.Sprintf("<!DOCTYPE html>\n<html>\n<head>\n<title>%s</title>\n</head>\n<body>\n%s\n</body>\n</html>\n", title, body)
+	return httpwire.NewResponse(status,
+		httpwire.NewHeader("Content-Type", "text/html; charset=utf-8"),
+		[]byte(page))
+}
+
+// glypePage renders the Glype proxy script's index page: a URL entry form
+// and a /browse.php relay, the content signature a proxy-category
+// classifier keys on.
+func glypePage(domain string, req *httpwire.Request) *httpwire.Response {
+	switch {
+	case req.Path() == "/" || req.Path() == "/index.php":
+		body := fmt.Sprintf(`<div id="glype">
+<h1>Web Proxy</h1>
+<p>Browse the web anonymously through %s.</p>
+<form action="/browse.php" method="get">
+<input type="text" name="u" size="60" value="http://">
+<input type="submit" value="Go">
+</form>
+<p class="footer">Powered by Glype&reg; proxy script.</p>
+</div>`, domain)
+		return htmlResp(200, "Glype Proxy - "+domain, body)
+	case strings.HasPrefix(req.Path(), "/browse.php"):
+		target := req.URL.Query().Get("u")
+		body := fmt.Sprintf(`<p>Glype relay placeholder for %s.</p>
+<p class="footer">Powered by Glype&reg; proxy script.</p>`, target)
+		return htmlResp(200, "Glype Proxy - browsing", body)
+	default:
+		return htmlResp(404, "Not Found", "<p>No such page.</p>")
+	}
+}
+
+// adultImageSite renders the Saudi-experiment host: an index page
+// referencing an adult image (placeholder bytes only) plus the benign
+// image testers actually fetch.
+func adultImageSite(domain string, req *httpwire.Request) *httpwire.Response {
+	switch req.Path() {
+	case "/":
+		body := fmt.Sprintf(`<h1>%s</h1>
+<p>[adult-image-content-placeholder]</p>
+<img src="/image.jpg" alt="adult content placeholder">`, domain)
+		return htmlResp(200, domain, body)
+	case "/image.jpg":
+		return httpwire.NewResponse(200,
+			httpwire.NewHeader("Content-Type", "image/jpeg"),
+			[]byte("\xff\xd8\xff\xe0ADULT-PLACEHOLDER-JPEG\xff\xd9"))
+	case BenignImagePath:
+		return httpwire.NewResponse(200,
+			httpwire.NewHeader("Content-Type", "image/png"),
+			[]byte("\x89PNG\r\n\x1a\nBENIGN-PLACEHOLDER-PNG"))
+	default:
+		return htmlResp(404, "Not Found", "<p>No such page.</p>")
+	}
+}
+
+func listContentPage(p Profile, req *httpwire.Request) *httpwire.Response {
+	cat, _ := CategoryByCode(p.ResearchCategory)
+	name := cat.Name
+	if name == "" {
+		name = p.ResearchCategory
+	}
+	body := fmt.Sprintf(`<h1>%s</h1>
+<p>Independent content site — category: %s (%s theme).</p>
+<p>This page stands in for real-world content protected by Article 19 of
+the Universal Declaration of Human Rights.</p>`, p.Domain, name, cat.Theme)
+	return htmlResp(200, p.Domain+" - "+name, body)
+}
+
+func benignPage(domain string, req *httpwire.Request) *httpwire.Response {
+	body := fmt.Sprintf(`<h1>Welcome to %s</h1>
+<p>Nothing interesting here: weather, recipes, and photographs of clouds.</p>`, domain)
+	return htmlResp(200, domain, body)
+}

@@ -1,0 +1,107 @@
+package world
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"filtermap/internal/characterize"
+	"filtermap/internal/identify"
+	"filtermap/internal/scanner"
+	"filtermap/internal/urllist"
+)
+
+// IdentifyPipeline wires the full §3 pipeline against the simulated
+// Internet: scan from the research vantage, validate with Table 2
+// signatures, map via the geolocation database and the whois service.
+// Pass a pre-built index to skip the scan stage (nil scans fresh).
+func (w *World) IdentifyPipeline(ctx context.Context, index *scanner.Index) (*identify.Pipeline, error) {
+	if index == nil {
+		var err error
+		index, err = w.Scanner().ScanNetwork(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("world: scan: %w", err)
+		}
+	}
+	return &identify.Pipeline{
+		Index:         index,
+		Fingerprinter: w.Fingerprinter(),
+		GeoDB:         w.GeoDB,
+		Whois:         w.WhoisClient(),
+	}, nil
+}
+
+// RunIdentification performs the whole §3 pipeline and returns the
+// Figure 1 report.
+func (w *World) RunIdentification(ctx context.Context) (*identify.Report, error) {
+	p, err := w.IdentifyPipeline(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}
+
+// CharacterizationTargets lists the (country, ISP, ASN) tuples §5
+// characterizes — the confirmed deployments of Table 3.
+func CharacterizationTargets() []struct {
+	Country string
+	ISP     string
+	ASN     int
+} {
+	return []struct {
+		Country string
+		ISP     string
+		ASN     int
+	}{
+		{"AE", ISPEtisalat, ASNEtisalat},
+		{"AE", ISPDu, ASNDu},
+		{"QA", ISPOoredoo, ASNOoredoo},
+		{"YE", ISPYemenNet, ASNYemenNet},
+	}
+}
+
+// CharacterizationRuns builds one characterize.Run per target.
+func (w *World) CharacterizationRuns() ([]characterize.Run, error) {
+	var runs []characterize.Run
+	for _, t := range CharacterizationTargets() {
+		client, err := w.MeasureClient(t.ISP)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, characterize.Run{
+			Country: t.Country,
+			ISP:     t.ISP,
+			ASN:     t.ASN,
+			Global:  urllist.GlobalList(),
+			Local:   urllist.LocalList(t.Country),
+			Client:  client,
+		})
+	}
+	return runs, nil
+}
+
+// RunCharacterization runs §5 for every target and returns the reports
+// (Table 4's input). Callers should position the clock at an hour when
+// the YemenNet license permits filtering; EnsureYemenFilteringActive does
+// that.
+func (w *World) RunCharacterization(ctx context.Context) ([]*characterize.Report, error) {
+	w.EnsureYemenFilteringActive()
+	runs, err := w.CharacterizationRuns()
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*characterize.Report, 0, len(runs))
+	for _, r := range runs {
+		reports = append(reports, characterize.Characterize(ctx, r))
+	}
+	return reports, nil
+}
+
+// EnsureYemenFilteringActive advances the clock (up to 24h) to an hour
+// when YemenNet's license permits filtering, so characterization is not
+// confounded by the fail-open window.
+func (w *World) EnsureYemenFilteringActive() {
+	for i := 0; i < 24 && !w.YemenFilteringActive(w.Clock.Now()); i++ {
+		w.Clock.Advance(time.Hour)
+	}
+}

@@ -1,0 +1,375 @@
+package world
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"filtermap/internal/categorydb"
+	"filtermap/internal/confirm"
+	"filtermap/internal/httpwire"
+	"filtermap/internal/products/bluecoat"
+	"filtermap/internal/products/netsweeper"
+	"filtermap/internal/products/smartfilter"
+	"filtermap/internal/urllist"
+)
+
+// Researcher identities used on vendor submission forms.
+const (
+	// LabEmail is the research group's normal address — the identity a
+	// vendor submission filter would key on (Table 5 row 3).
+	LabEmail = "research@measurement.utoronto.example"
+	// WebmailEmail is the throwaway webmail identity of the §6.2
+	// countermeasure.
+	WebmailEmail = "cloudyskies1984@freewebmail.example"
+)
+
+// DuCampaignStart returns the first campaign start time at or after
+// `after` that reproduces Du's 5/6: with Du syncing weekly at
+// DuSyncAnchor + k*week and submissions reviewed at +3 days plus a
+// 6-hour-per-submission stagger, a start 100 hours before a weekly sync
+// puts exactly five of six submissions before the cutoff:
+//
+//	decisions at t0+{72,78,84,90,96,102}h; sync at t0+100h
+//	=> five decisions visible at the sync, the sixth waits a week,
+//	   beyond the re-test window.
+func DuCampaignStart(after time.Time) time.Time {
+	const week = 7 * 24 * time.Hour
+	t0 := DuSyncAnchor.Add(-100 * time.Hour)
+	for t0.Before(after) {
+		t0 = t0.Add(week)
+	}
+	return t0
+}
+
+// Plan is one scheduled confirmation case study.
+type Plan struct {
+	// Key identifies the plan, e.g. "smartfilter-uae-etisalat-2012".
+	Key string
+	// TableOrder is the row's position in Table 3.
+	TableOrder int
+	// StartAt is the virtual start time.
+	StartAt time.Time
+	// Build provisions test sites and returns the runnable campaign. It
+	// must be called when the world clock has reached StartAt.
+	Build func() (*confirm.Campaign, error)
+}
+
+// submitEmail picks the identity submissions carry.
+func (w *World) submitEmail() string { return LabEmail }
+
+// blueCoatSubmitter submits to the Site Review portal from the lab.
+func (w *World) blueCoatSubmitter(client *httpwire.Client, email string) confirm.SubmitFunc {
+	return func(ctx context.Context, url, category string) error {
+		resp, err := bluecoat.SubmitViaPortal(ctx, client, HostSiteReview, url, category, email)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("site review returned %s", resp.Status())
+		}
+		return nil
+	}
+}
+
+// smartFilterSubmitter submits to the TrustedSource portal from the lab.
+func (w *World) smartFilterSubmitter(client *httpwire.Client, email string) confirm.SubmitFunc {
+	return func(ctx context.Context, url, category string) error {
+		resp, err := smartfilter.SubmitViaPortal(ctx, client, HostTrustedSource, url, category, email)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("trustedsource returned %s", resp.Status())
+		}
+		return nil
+	}
+}
+
+// netsweeperSubmitter submits to test-a-site; the requested category is
+// left to the vendor's classifier, as the paper's §4.4 submissions were.
+func (w *World) netsweeperSubmitter(client *httpwire.Client, email string) confirm.SubmitFunc {
+	return func(ctx context.Context, url, _ string) error {
+		resp, err := netsweeper.SubmitViaTestASite(ctx, client, HostTestASite, url, "", email)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("test-a-site returned %s", resp.Status())
+		}
+		return nil
+	}
+}
+
+// campaignBase fills the fields shared by every Table 3 campaign.
+func (w *World) campaignBase(product, country, isp string, asn int, date string) (*confirm.Campaign, error) {
+	measure, err := w.MeasureClient(isp)
+	if err != nil {
+		return nil, err
+	}
+	return &confirm.Campaign{
+		Product:       product,
+		Country:       country,
+		ISP:           isp,
+		ASN:           asn,
+		Date:          date,
+		WaitDays:      4,
+		RetestRounds:  3,
+		RetestSpacing: 6 * time.Hour,
+		Wait:          w.Wait,
+		Measure:       measure,
+	}, nil
+}
+
+// Table3Plans returns the ten case studies of Table 3, scheduled on the
+// paper's timeline. Run them in StartAt order on a fresh world.
+func (w *World) Table3Plans() []Plan {
+	date := func(y int, m time.Month, d, h int) time.Time {
+		return time.Date(y, m, d, h, 0, 0, 0, time.UTC)
+	}
+	labClient := w.LabClient()
+	email := w.submitEmail()
+
+	plans := []Plan{
+		{
+			Key: "bluecoat-uae-etisalat", TableOrder: 1, StartAt: date(2013, 4, 1, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(bluecoat.Name, "AE", ISPEtisalat, ASNEtisalat, "4/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.GlypeProxy, 6)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 3, true
+				c.Category, c.CategoryLabel = bluecoat.CatProxyAvoidance, "Proxy Avoidance"
+				c.Submit = w.blueCoatSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "bluecoat-qatar-ooredoo", TableOrder: 2, StartAt: date(2013, 4, 7, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(bluecoat.Name, "QA", ISPOoredoo, ASNOoredoo, "4/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.GlypeProxy, 6)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 3, true
+				c.Category, c.CategoryLabel = bluecoat.CatProxyAvoidance, "Proxy Avoidance"
+				c.Submit = w.blueCoatSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "smartfilter-qatar-ooredoo", TableOrder: 3, StartAt: date(2013, 4, 13, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(smartfilter.Name, "QA", ISPOoredoo, ASNOoredoo, "4/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.AdultImage, 10)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 5, true
+				c.Category, c.CategoryLabel = smartfilter.CatPornography, "Pornography"
+				c.Submit = w.smartFilterSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "smartfilter-saudi-bayanat", TableOrder: 4, StartAt: date(2012, 9, 10, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(smartfilter.Name, "SA", ISPBayanat, ASNBayanat, "9/2012")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.AdultImage, 10)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 5, true
+				c.Category, c.CategoryLabel = smartfilter.CatPornography, "Pornography"
+				c.Submit = w.smartFilterSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "smartfilter-saudi-nournet", TableOrder: 5, StartAt: date(2013, 5, 6, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(smartfilter.Name, "SA", ISPNournet, ASNNournet, "5/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.AdultImage, 10)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 5, true
+				c.Category, c.CategoryLabel = smartfilter.CatPornography, "Pornography"
+				c.Submit = w.smartFilterSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "smartfilter-uae-etisalat-2012", TableOrder: 6, StartAt: date(2012, 9, 20, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(smartfilter.Name, "AE", ISPEtisalat, ASNEtisalat, "9/2012")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.GlypeProxy, 10)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 5, true
+				c.Category, c.CategoryLabel = smartfilter.CatAnonymizers, "Anonymizers"
+				c.Submit = w.smartFilterSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "smartfilter-uae-etisalat-2013", TableOrder: 7, StartAt: date(2013, 4, 19, 0),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(smartfilter.Name, "AE", ISPEtisalat, ASNEtisalat, "4/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.AdultImage, 10)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 5, true
+				c.Category, c.CategoryLabel = smartfilter.CatPornography, "Pornography"
+				c.Submit = w.smartFilterSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "netsweeper-qatar-ooredoo", TableOrder: 8, StartAt: date(2013, 8, 5, 20),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(netsweeper.Name, "QA", ISPOoredoo, ASNOoredoo, "8/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.GlypeProxy, 12)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 6, false
+				c.Category, c.CategoryLabel = netsweeper.CatProxyAnonymizer, "Proxy anonymizer"
+				c.Submit = w.netsweeperSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "netsweeper-uae-du", TableOrder: 9, StartAt: DuCampaignStart(date(2013, 3, 1, 0)),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(netsweeper.Name, "AE", ISPDu, ASNDu, "3/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.GlypeProxy, 12)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 6, false
+				c.Category, c.CategoryLabel = netsweeper.CatProxyAnonymizer, "Proxy anonymizer"
+				c.Submit = w.netsweeperSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+		{
+			Key: "netsweeper-yemen-yemennet", TableOrder: 10, StartAt: date(2013, 3, 12, 20),
+			Build: func() (*confirm.Campaign, error) {
+				c, err := w.campaignBase(netsweeper.Name, "YE", ISPYemenNet, ASNYemenNet, "3/2013")
+				if err != nil {
+					return nil, err
+				}
+				urls, err := w.ProvisionTestSites(urllist.GlypeProxy, 12)
+				if err != nil {
+					return nil, err
+				}
+				c.DomainURLs, c.SubmitCount, c.PreTest = urls, 6, false
+				c.Category, c.CategoryLabel = netsweeper.CatProxyAnonymizer, "Proxy anonymizer"
+				c.Submit = w.netsweeperSubmitter(labClient, email)
+				return c, nil
+			},
+		},
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].StartAt.Before(plans[j].StartAt) })
+	return plans
+}
+
+// RunTable3 executes all ten case studies chronologically on the world's
+// clock and returns the outcomes in Table 3 row order.
+func (w *World) RunTable3(ctx context.Context) ([]*confirm.Outcome, error) {
+	plans := w.Table3Plans()
+	type keyed struct {
+		order   int
+		outcome *confirm.Outcome
+	}
+	var results []keyed
+	for _, p := range plans {
+		if w.Clock.Now().After(p.StartAt) {
+			return nil, fmt.Errorf("world: clock %v already past plan %s start %v", w.Clock.Now(), p.Key, p.StartAt)
+		}
+		w.Clock.AdvanceTo(p.StartAt)
+		campaign, err := p.Build()
+		if err != nil {
+			return nil, fmt.Errorf("world: build %s: %w", p.Key, err)
+		}
+		outcome, err := confirm.Run(ctx, campaign)
+		if err != nil {
+			return nil, fmt.Errorf("world: run %s: %w", p.Key, err)
+		}
+		results = append(results, keyed{p.TableOrder, outcome})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].order < results[j].order })
+	out := make([]*confirm.Outcome, len(results))
+	for i, r := range results {
+		out[i] = r.outcome
+	}
+	return out, nil
+}
+
+// installSubmissionFilters arms Table 5 row 3: every vendor silently
+// disregards submissions from the lab's IP or institutional e-mail.
+func (w *World) installSubmissionFilters() {
+	labAddr := w.Lab.Addr()
+	filter := func(sub categorydb.Submission) bool {
+		if sub.SubmitterIP == labAddr {
+			return false
+		}
+		if strings.Contains(strings.ToLower(sub.SubmitterEmail), "utoronto") {
+			return false
+		}
+		return true
+	}
+	for _, db := range []*categorydb.DB{w.BlueCoatDB, w.SmartFilterDB, w.NetsweeperDB, w.WebsenseDB} {
+		db.SetSubmissionFilter(filter)
+	}
+}
+
+// CounterEvasionSubmitter returns a submit function using the §6.2
+// countermeasures: a proxy exit IP and a throwaway webmail identity.
+func (w *World) CounterEvasionSubmitter(product string) confirm.SubmitFunc {
+	client := w.ProxyClient()
+	switch product {
+	case bluecoat.Name:
+		return w.blueCoatSubmitter(client, WebmailEmail)
+	case smartfilter.Name:
+		return w.smartFilterSubmitter(client, WebmailEmail)
+	case netsweeper.Name:
+		return w.netsweeperSubmitter(client, WebmailEmail)
+	default:
+		return nil
+	}
+}

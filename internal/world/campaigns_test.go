@@ -1,0 +1,145 @@
+package world
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"filtermap/internal/simclock"
+)
+
+// TestDuCampaignStartArithmetic pins the mechanism behind Table 3's 5/6:
+// the returned start time must put a weekly Du sync exactly 100 hours
+// after campaign start.
+func TestDuCampaignStartArithmetic(t *testing.T) {
+	after := time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC)
+	t0 := DuCampaignStart(after)
+	if t0.Before(after) {
+		t.Fatalf("start %v before requested %v", t0, after)
+	}
+	if t0.Sub(after) > 8*24*time.Hour {
+		t.Fatalf("start %v more than a week past %v", t0, after)
+	}
+	// A sync (DuSyncAnchor + k*week) must land at exactly t0+100h.
+	syncAt := t0.Add(100 * time.Hour)
+	offset := syncAt.Sub(DuSyncAnchor) % DuSyncInterval
+	if offset != 0 {
+		t.Fatalf("no weekly sync at t0+100h (offset %v)", offset)
+	}
+	// Decisions at +72..+96h fall before the sync; +102h falls after.
+	for i, decided := range []time.Duration{72, 78, 84, 90, 96} {
+		if t0.Add(decided * time.Hour).After(syncAt) {
+			t.Fatalf("decision %d at +%dh would miss the sync", i, decided)
+		}
+	}
+	if !t0.Add(102 * time.Hour).After(syncAt) {
+		t.Fatal("sixth decision would catch the sync; 5/6 breaks")
+	}
+}
+
+// TestTable3PlansWellFormed checks the schedule invariants RunTable3
+// depends on.
+func TestTable3PlansWellFormed(t *testing.T) {
+	w := buildTestWorld(t, Options{})
+	plans := w.Table3Plans()
+	if len(plans) != 10 {
+		t.Fatalf("plans = %d, want 10", len(plans))
+	}
+	orders := make(map[int]bool)
+	keys := make(map[string]bool)
+	var prev time.Time
+	for i, p := range plans {
+		if keys[p.Key] {
+			t.Fatalf("duplicate plan key %q", p.Key)
+		}
+		keys[p.Key] = true
+		if orders[p.TableOrder] || p.TableOrder < 1 || p.TableOrder > 10 {
+			t.Fatalf("bad table order %d for %s", p.TableOrder, p.Key)
+		}
+		orders[p.TableOrder] = true
+		if i > 0 {
+			// Chronological and spaced beyond a campaign's ~4.5 day span.
+			gap := p.StartAt.Sub(prev)
+			if gap < 5*24*time.Hour {
+				t.Fatalf("plans %d/%d only %v apart; campaigns would overlap", i-1, i, gap)
+			}
+		}
+		prev = p.StartAt
+		if p.StartAt.Before(simclock.Epoch) {
+			t.Fatalf("plan %s starts before the world epoch", p.Key)
+		}
+	}
+}
+
+// TestRunTable3RejectsLateClock documents the one-shot nature of the
+// timeline: a world whose clock has passed a plan's start cannot replay
+// it.
+func TestRunTable3RejectsLateClock(t *testing.T) {
+	w := buildTestWorld(t, Options{})
+	w.Clock.AdvanceTo(time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC))
+	if _, err := w.RunTable3(context.Background()); err == nil {
+		t.Fatal("RunTable3 accepted a clock past the schedule")
+	}
+}
+
+// TestCounterEvasionSubmitterUnknownProduct returns nil for products
+// without portals.
+func TestCounterEvasionSubmitterUnknownProduct(t *testing.T) {
+	w := buildTestWorld(t, Options{})
+	if w.CounterEvasionSubmitter("NoSuchVendor") != nil {
+		t.Fatal("unknown product returned a submitter")
+	}
+	for _, p := range []string{"Blue Coat", "McAfee SmartFilter", "Netsweeper"} {
+		if w.CounterEvasionSubmitter(p) == nil {
+			t.Fatalf("no submitter for %s", p)
+		}
+	}
+}
+
+// TestProvisionTestSitesFreshAndReachable: provisioning yields unique
+// live domains reachable from the lab.
+func TestProvisionTestSitesFreshAndReachable(t *testing.T) {
+	w := buildTestWorld(t, Options{})
+	urls, err := w.ProvisionTestSites(0 /* Benign */, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	client := w.LabClient()
+	for _, u := range urls {
+		if seen[u] {
+			t.Fatalf("duplicate provisioned url %s", u)
+		}
+		seen[u] = true
+		resp, err := client.Get(context.Background(), u)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("provisioned site %s unreachable: %v %v", u, resp, err)
+		}
+	}
+}
+
+// TestWorldDeterministicDomains: two worlds with the same seed provision
+// the same domain sequence; different seeds diverge.
+func TestWorldDeterministicDomains(t *testing.T) {
+	w1 := buildTestWorld(t, Options{Seed: 7})
+	w2 := buildTestWorld(t, Options{Seed: 7})
+	w3 := buildTestWorld(t, Options{Seed: 8})
+	u1, _ := w1.ProvisionTestSites(0, 5)
+	u2, _ := w2.ProvisionTestSites(0, 5)
+	u3, _ := w3.ProvisionTestSites(0, 5)
+	same12, same13 := 0, 0
+	for i := range u1 {
+		if u1[i] == u2[i] {
+			same12++
+		}
+		if u1[i] == u3[i] {
+			same13++
+		}
+	}
+	if same12 != len(u1) {
+		t.Fatal("same seed produced different domains")
+	}
+	if same13 == len(u1) {
+		t.Fatal("different seeds produced identical domains")
+	}
+}

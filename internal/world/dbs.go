@@ -1,0 +1,135 @@
+package world
+
+import (
+	"filtermap/internal/categorydb"
+	"filtermap/internal/products/bluecoat"
+	"filtermap/internal/products/netsweeper"
+	"filtermap/internal/products/smartfilter"
+	"filtermap/internal/products/websense"
+	"filtermap/internal/simclock"
+	"filtermap/internal/urllist"
+)
+
+// The vendor master databases ship pre-seeded with the sites the paper's
+// prior ONI observations establish as categorized: proxy/anonymizer
+// services and pornography (§4.3-4.4 pick those categories because they
+// were already known blocked). Research-list domains are categorized in
+// the SmartFilter database under mapped categories so the Etisalat
+// deployment's Table 4 row arises from vendor-category policy; Netsweeper
+// deployments instead realize their Table 4 rows through operator custom
+// lists (see deployments.go), so the denypagetests probe of §4.4 sees
+// exactly the five enabled vendor categories in Yemen.
+
+func newBlueCoatDB(clock simclock.Clock) *categorydb.DB {
+	db := bluecoat.NewDatabase(clock)
+	seed := map[string]string{
+		"securelyproxy.net":              bluecoat.CatProxyAvoidance,
+		"openanonymizer.net":             bluecoat.CatProxyAvoidance,
+		"global-proxy-tools.org":         bluecoat.CatProxyAvoidance,
+		"global-anonymizers.org":         bluecoat.CatProxyAvoidance,
+		"global-pornography.org":         bluecoat.CatPornography,
+		"global-gambling.org":            bluecoat.CatGambling,
+		"global-media-freedom.org":       bluecoat.CatNewsMedia,
+		"worldpressherald.org":           bluecoat.CatNewsMedia,
+		"global-political-reform.org":    bluecoat.CatPolitical,
+		"global-lgbt.org":                bluecoat.CatLGBT,
+		"rainbowalliance.org":            bluecoat.CatLGBT,
+		"global-religious-criticism.org": bluecoat.CatReligion,
+	}
+	for d, c := range seed {
+		mustAdd(db, d, c)
+	}
+	return db
+}
+
+func newSmartFilterDB(clock simclock.Clock) *categorydb.DB {
+	db := smartfilter.NewDatabase(clock)
+	seed := map[string]string{
+		// Prior-known proxy/anonymizer and pornography sites (§4.3).
+		"securelyproxy.net":      smartfilter.CatAnonymizers,
+		"openanonymizer.net":     smartfilter.CatAnonymizers,
+		"global-proxy-tools.org": smartfilter.CatAnonymizers,
+		"global-anonymizers.org": smartfilter.CatAnonymizers,
+		"global-vpn.org":         smartfilter.CatAnonymizers,
+		"global-pornography.org": smartfilter.CatPornography,
+		"global-gambling.org":    smartfilter.CatGambling,
+		// Research-list content mapped into SmartFilter categories; the
+		// Etisalat policy enables a subset of these (Table 4 row 1).
+		"global-media-freedom.org":             smartfilter.CatMedia,
+		"worldpressherald.org":                 smartfilter.CatMedia,
+		"emirates-monitor.org":                 smartfilter.CatMedia,
+		"global-political-reform.org":          smartfilter.CatPolitics,
+		"global-opposition-parties.org":        smartfilter.CatPolitics,
+		"global-government-criticism.org":      smartfilter.CatPolitics,
+		"uae-reform-now.org":                   smartfilter.CatPolitics,
+		"global-lgbt.org":                      smartfilter.CatLGBT,
+		"rainbowalliance.org":                  smartfilter.CatLGBT,
+		"gulf-lgbt-network.org":                smartfilter.CatLGBT,
+		"global-religious-criticism.org":       smartfilter.CatReligion,
+		"islam-debate-forum.org":               smartfilter.CatReligion,
+		"global-human-rights.org":              smartfilter.CatHumanRights,
+		"rightswatch-intl.org":                 smartfilter.CatHumanRights,
+		"uaedetaineewatch.org":                 smartfilter.CatHumanRights,
+		"global-minority-groups-religions.org": smartfilter.CatMinority,
+		"shia-community-gulf.org":              smartfilter.CatMinority,
+	}
+	for d, c := range seed {
+		mustAdd(db, d, c)
+	}
+	return db
+}
+
+// newNetsweeperDB wires the vendor's content classifier to the simulated
+// content directory: Glype proxy installations are machine-recognizable,
+// so test-a-site submissions and the in-country categorization queue
+// classify them as proxy-anonymizer without human review. Other content
+// kinds land Unrated (a human queue the simulation does not grant).
+func newNetsweeperDB(clock simclock.Clock, dir *urllist.Directory) *categorydb.DB {
+	db := netsweeper.NewDatabase(clock)
+	db.SetClassifier(categorydb.ClassifierFunc(func(domain, url string) (string, bool) {
+		p, ok := dir.Lookup(domain)
+		if !ok {
+			return "", false
+		}
+		switch {
+		case p.Kind == urllist.GlypeProxy:
+			return netsweeper.CatProxyAnonymizer, true
+		case p.Kind == urllist.ListContent && (p.ResearchCategory == "proxy-tools" || p.ResearchCategory == "anonymizers"):
+			return netsweeper.CatProxyAnonymizer, true
+		default:
+			return "", false
+		}
+	}))
+	seed := map[string]string{
+		"securelyproxy.net":      netsweeper.CatProxyAnonymizer,
+		"openanonymizer.net":     netsweeper.CatProxyAnonymizer,
+		"global-proxy-tools.org": netsweeper.CatProxyAnonymizer,
+		"global-anonymizers.org": netsweeper.CatProxyAnonymizer,
+		"global-pornography.org": netsweeper.CatPornography,
+	}
+	for d, c := range seed {
+		mustAdd(db, d, c)
+	}
+	return db
+}
+
+func newWebsenseDB(clock simclock.Clock) *categorydb.DB {
+	db := websense.NewDatabase(clock)
+	seed := map[string]string{
+		"securelyproxy.net":      websense.CatProxyAvoid,
+		"openanonymizer.net":     websense.CatProxyAvoid,
+		"global-proxy-tools.org": websense.CatProxyAvoid,
+		"global-pornography.org": websense.CatAdultContent,
+		"global-gambling.org":    websense.CatGambling,
+	}
+	for d, c := range seed {
+		mustAdd(db, d, c)
+	}
+	return db
+}
+
+func mustAdd(db *categorydb.DB, domain, category string) {
+	if err := db.AddDomain(domain, category); err != nil {
+		panic("world: seeding " + db.Name() + ": " + err.Error())
+	}
+}

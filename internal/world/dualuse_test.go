@@ -1,0 +1,93 @@
+package world
+
+import (
+	"context"
+	"testing"
+
+	"filtermap/internal/characterize"
+	"filtermap/internal/measurement"
+	"filtermap/internal/urllist"
+)
+
+// TestSyriaBlueCoatCensorship covers the paper's founding observation
+// ([32], §1): Syrian Telecom censors with Blue Coat's own WebFilter —
+// proxy sites via the vendor category, political content via an operator
+// list — and the block pages attribute to Blue Coat.
+func TestSyriaBlueCoatCensorship(t *testing.T) {
+	w := buildTestWorld(t, Options{})
+	client, err := w.MeasureClient(ISPSyrianTelecom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	blocked := []string{
+		"http://securelyproxy.net/",           // vendor proxy category
+		"http://global-political-reform.org/", // operator custom list
+		"http://worldpressherald.org/",        // operator custom list
+	}
+	for _, u := range blocked {
+		res := client.TestURL(ctx, u)
+		if res.Verdict != measurement.Blocked {
+			t.Fatalf("%s verdict = %v, want blocked", u, res.Verdict)
+		}
+		if res.BlockMatch.Product != "Blue Coat" {
+			t.Fatalf("%s attributed to %q, want Blue Coat", u, res.BlockMatch.Product)
+		}
+	}
+	// Innocuous content flows.
+	if res := client.TestURL(ctx, "http://global-entertainment.org/"); res.Verdict != measurement.Accessible {
+		t.Fatalf("entertainment verdict = %v, want accessible", res.Verdict)
+	}
+}
+
+// TestDualUseEnterpriseBaseline covers §3.2's caution: finding a product
+// is not finding censorship. The Texas utility's Websense enforces an
+// acceptable-use policy (adult content, gambling) but leaves political,
+// media, human-rights and LGBT content alone — so its Table 4 row would
+// be empty.
+func TestDualUseEnterpriseBaseline(t *testing.T) {
+	w := buildTestWorld(t, Options{})
+	client, err := w.MeasureClient(ISPTexasUtility1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Acceptable-use blocking works and attributes to Websense.
+	res := client.TestURL(ctx, "http://global-pornography.org/")
+	if res.Verdict != measurement.Blocked || res.BlockMatch.Product != "Websense" {
+		t.Fatalf("pornography = %v via %q", res.Verdict, res.BlockMatch.Product)
+	}
+	if res := client.TestURL(ctx, "http://global-gambling.org/"); res.Verdict != measurement.Blocked {
+		t.Fatalf("gambling verdict = %v, want blocked", res.Verdict)
+	}
+
+	// Protected speech is untouched.
+	for _, u := range []string{
+		"http://global-political-reform.org/",
+		"http://global-media-freedom.org/",
+		"http://global-human-rights.org/",
+		"http://global-lgbt.org/",
+	} {
+		if res := client.TestURL(ctx, u); res.Verdict != measurement.Accessible {
+			t.Fatalf("%s verdict = %v, want accessible (dual-use baseline)", u, res.Verdict)
+		}
+	}
+
+	// Its Table 4 row is empty: characterization finds blocking, but none
+	// of it lands in the protected-speech columns.
+	rep := characterize.Characterize(ctx, characterize.Run{
+		Country: "US", ISP: ISPTexasUtility1, ASN: 64550,
+		Global: urllist.GlobalList(),
+		Client: client,
+	})
+	for _, col := range characterize.Table4Columns() {
+		if rep.Blocks("Websense", col) {
+			t.Fatalf("enterprise deployment blocks protected column %q", col)
+		}
+	}
+	if !rep.Blocks("Websense", "pornography") {
+		t.Fatal("enterprise deployment's acceptable-use blocking not recorded")
+	}
+}

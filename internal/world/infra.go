@@ -1,0 +1,192 @@
+package world
+
+import (
+	"fmt"
+	"net/netip"
+
+	"filtermap/internal/geo"
+	"filtermap/internal/httpwire"
+	"filtermap/internal/netsim"
+	"filtermap/internal/products/bluecoat"
+	"filtermap/internal/products/netsweeper"
+	"filtermap/internal/products/smartfilter"
+	"filtermap/internal/urllist"
+)
+
+// buildInfrastructure creates the research and vendor-cloud side of the
+// world: lab and scan vantages, the whois service, vendor submission
+// portals, and the researcher hosting range.
+func (w *World) buildInfrastructure() error {
+	// University of Toronto lab (§4.1's comparison vantage).
+	utoronto, err := w.addAS(239, "UTORONTO - University of Toronto", "CA", "128.100.0.0/16")
+	if err != nil {
+		return err
+	}
+	utISP, err := w.Net.AddISP("UToronto", utoronto)
+	if err != nil {
+		return err
+	}
+	w.Lab, err = w.Net.AddHost(netip.MustParseAddr("128.100.50.10"), HostLab, utISP)
+	if err != nil {
+		return err
+	}
+
+	// Research scan vantage (the host Shodan-style sweeps run from).
+	if _, err := w.addAS(237, "MERIT-AS - research network", "US", "198.108.0.0/16"); err != nil {
+		return err
+	}
+	w.ScanVantage, err = w.Net.AddHost(netip.MustParseAddr("198.108.1.10"), HostScanVantage, nil)
+	if err != nil {
+		return err
+	}
+
+	// Out-of-band proxy vantage (the §6.2 submission countermeasure).
+	if _, err := w.addAS(64510, "FREEPROXY-NET", "NL", "185.38.0.0/16"); err != nil {
+		return err
+	}
+	w.ProxyVantage, err = w.Net.AddHost(netip.MustParseAddr("185.38.7.7"), "exit7.freeproxy.example", nil)
+	if err != nil {
+		return err
+	}
+
+	// Team Cymru-style whois service.
+	if _, err := w.addAS(23028, "CYMRU-AS", "US", "38.229.0.0/16"); err != nil {
+		return err
+	}
+	whoisHost, err := w.Net.AddHost(netip.MustParseAddr("38.229.1.1"), HostWhois, nil)
+	if err != nil {
+		return err
+	}
+	whoisL, err := whoisHost.Listen(geo.WhoisPort)
+	if err != nil {
+		return err
+	}
+	whoisSrv := &geo.WhoisServer{Table: w.ASTable}
+	go whoisSrv.Serve(whoisL) //nolint:errcheck // ends with listener
+
+	// Vendor cloud services.
+	if _, err := w.addAS(64497, "BLUECOAT-CLOUD", "US", "199.91.0.0/16"); err != nil {
+		return err
+	}
+	if err := w.serveVendorHost("199.91.1.10", HostSiteReview, bluecoat.SiteReviewHandler(w.BlueCoatDB)); err != nil {
+		return err
+	}
+	if err := w.serveVendorHost("199.91.2.10", HostCfAuth, bluecoat.CfAuthHandler()); err != nil {
+		return err
+	}
+
+	if _, err := w.addAS(64498, "MCAFEE-CLOUD", "US", "161.69.0.0/16"); err != nil {
+		return err
+	}
+	if err := w.serveVendorHost("161.69.1.10", HostTrustedSource, smartfilter.SubmissionPortalHandler(w.SmartFilterDB)); err != nil {
+		return err
+	}
+
+	if _, err := w.addAS(64499, "NETSWEEPER-INC", "CA", "66.207.0.0/16"); err != nil {
+		return err
+	}
+	if err := w.serveVendorHost("66.207.1.10", HostTestASite, netsweeper.TestASiteHandler(w.NetsweeperDB)); err != nil {
+		return err
+	}
+	if err := w.serveVendorHost("66.207.2.10", HostDenyPageTests, netsweeper.DenyPageTestsHandler(w.NetsweeperDB)); err != nil {
+		return err
+	}
+
+	// Researcher site hosting: a popular commodity cloud (a range too
+	// widely used for a vendor to block wholesale, §6.2).
+	cloudAS, err := w.addAS(64496, "SIMCLOUD-HOSTING", "US", "160.153.0.0/16")
+	if err != nil {
+		return err
+	}
+	w.hostingISP, err = w.Net.AddISP("SimCloud", cloudAS)
+	if err != nil {
+		return err
+	}
+	w.nextSiteIP = netip.MustParseAddr("160.153.1.1")
+
+	return nil
+}
+
+// serveVendorHost registers a host and serves an HTTP handler on port 80.
+func (w *World) serveVendorHost(ip, name string, handler httpwire.Handler) error {
+	h, err := w.Net.AddHost(netip.MustParseAddr(ip), name, nil)
+	if err != nil {
+		return err
+	}
+	l, err := h.Listen(80)
+	if err != nil {
+		return err
+	}
+	srv := &httpwire.Server{Handler: handler}
+	go srv.Serve(l) //nolint:errcheck // ends with listener
+	return nil
+}
+
+// allocSiteIP hands out sequential hosting addresses.
+func (w *World) allocSiteIP() netip.Addr {
+	ip := w.nextSiteIP
+	w.nextSiteIP = w.nextSiteIP.Next()
+	return ip
+}
+
+// HostSite registers a domain with the given content profile: DNS, a
+// hosting IP, an origin server, and a content-directory entry.
+func (w *World) HostSite(domain string, kind urllist.Kind, researchCategory string) error {
+	profile := urllist.Profile{Domain: domain, Kind: kind, ResearchCategory: researchCategory}
+	w.Dir.Add(profile)
+	h, err := w.Net.AddHost(w.allocSiteIP(), domain, w.hostingISP)
+	if err != nil {
+		return fmt.Errorf("host %s: %w", domain, err)
+	}
+	l, err := h.Listen(80)
+	if err != nil {
+		return err
+	}
+	srv := &httpwire.Server{Handler: urllist.Handler(profile)}
+	go srv.Serve(l) //nolint:errcheck // ends with listener
+	return nil
+}
+
+// ProvisionTestSites stands up n fresh researcher-controlled domains of
+// the given kind and returns their URLs (§4.2 step 1).
+func (w *World) ProvisionTestSites(kind urllist.Kind, n int) ([]string, error) {
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		domain := w.Gen.Domain()
+		if err := w.HostSite(domain, kind, ""); err != nil {
+			return nil, err
+		}
+		urls = append(urls, "http://"+domain+"/")
+	}
+	return urls, nil
+}
+
+// buildListSites hosts every global- and local-list domain.
+func (w *World) buildListSites() error {
+	seen := make(map[string]bool)
+	host := func(list urllist.List) error {
+		for _, e := range list.Entries {
+			if seen[e.Domain] {
+				continue
+			}
+			seen[e.Domain] = true
+			if err := w.HostSite(e.Domain, urllist.ListContent, e.Category); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := host(urllist.GlobalList()); err != nil {
+		return err
+	}
+	for _, cc := range []string{"AE", "QA", "SA", "YE"} {
+		if err := host(urllist.LocalList(cc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// netsimVisibilityForConsole is a helper kept for readability at call
+// sites in deployments.go.
+func (w *World) consoleVisibility() netsim.Visibility { return w.visibility() }

@@ -1,0 +1,253 @@
+// Package world assembles the simulated Internet the experiments run on:
+// the paper's countries, ISPs and AS numbers, the four vendors' master
+// databases and cloud services, the filtering deployments with their
+// policies, sync schedules and license models, researcher infrastructure
+// (lab server, scan vantage, test-site hosting), and the background
+// installations behind Figure 1.
+//
+// Everything is parameterized by a manual clock and explicit seeds, so
+// each build of the world replays the paper's timeline identically.
+package world
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"filtermap/internal/categorydb"
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/geo"
+	"filtermap/internal/httpwire"
+	"filtermap/internal/measurement"
+	"filtermap/internal/netsim"
+	"filtermap/internal/scanner"
+	"filtermap/internal/simclock"
+	"filtermap/internal/urllist"
+)
+
+// ISP names used throughout (Table 3).
+const (
+	ISPEtisalat = "Etisalat"
+	ISPDu       = "Du"
+	ISPOoredoo  = "Ooredoo"
+	ISPBayanat  = "Bayanat Al-Oula"
+	ISPNournet  = "Nournet"
+	ISPYemenNet = "YemenNet"
+)
+
+// AS numbers from Table 3.
+const (
+	ASNEtisalat = 5384
+	ASNDu       = 15802
+	ASNOoredoo  = 42298
+	ASNBayanat  = 48237
+	ASNNournet  = 29684
+	ASNYemenNet = 12486
+)
+
+// Vendor cloud service hostnames.
+const (
+	HostSiteReview    = "sitereview.bluecoat.example"
+	HostTrustedSource = "trustedsource.mcafee.example"
+	HostTestASite     = "www.netsweeper.example"
+	HostDenyPageTests = "denypagetests.netsweeper.com"
+	HostCfAuth        = "www.cfauth.com"
+	HostWhois         = "whois.cymru.example"
+	HostLab           = "lab.measurement.utoronto.example"
+	HostScanVantage   = "scan1.research.example"
+)
+
+// Options configures world construction.
+type Options struct {
+	// Start is the clock start (default simclock.Epoch).
+	Start time.Time
+	// Seed drives the deterministic domain generator.
+	Seed int64
+
+	// HideConsoles installs every product's network faces with ISPOnly
+	// visibility — Table 5's first evasion tactic. Identification stops
+	// finding anything; confirmation still works.
+	HideConsoles bool
+	// ScrubHeaders strips brand evidence from product responses — Table
+	// 5's second evasion tactic. Signatures stop matching; confirmation
+	// still works via unattributed field/lab divergence.
+	ScrubHeaders bool
+	// FilterSubmissions installs vendor-side submission filters that
+	// disregard submissions from the researchers' lab IP or e-mail
+	// domain — Table 5's third evasion tactic.
+	FilterSubmissions bool
+	// DisableDuSyncLag gives Du the same frequent sync schedule as the
+	// other deployments, turning Table 3's 5/6 into 6/6 (an ablation).
+	DisableDuSyncLag bool
+}
+
+// World is the assembled simulation.
+type World struct {
+	Opts  Options
+	Clock *simclock.Manual
+	Net   *netsim.Network
+
+	GeoDB   *geo.DB
+	ASTable *geo.ASTable
+	Dir     *urllist.Directory
+	Gen     *urllist.Generator
+
+	// Vendor master databases.
+	BlueCoatDB    *categorydb.DB
+	SmartFilterDB *categorydb.DB
+	NetsweeperDB  *categorydb.DB
+	WebsenseDB    *categorydb.DB
+
+	// Vantages.
+	Lab         *netsim.Host
+	ScanVantage *netsim.Host
+	// FieldHosts maps ISP name -> in-country tester host.
+	FieldHosts map[string]*netsim.Host
+	// ProxyVantage is an out-of-band submission origin (the Tor/proxy
+	// countermeasure of §6.2).
+	ProxyVantage *netsim.Host
+
+	// hostAllocator state for researcher test sites.
+	nextSiteIP netip.Addr
+	hostingISP *netsim.ISP
+
+	// Deployment handles for tests and ablations.
+	YemenLicense *licenseHandle
+}
+
+// licenseHandle exposes the YemenNet license model for ablations.
+type licenseHandle struct {
+	MaxConcurrent int
+	Load          func(time.Time) int
+}
+
+// Build constructs the default world.
+func Build(opts Options) (*World, error) {
+	clock := simclock.NewManual(opts.Start)
+	w := &World{
+		Opts:       opts,
+		Clock:      clock,
+		Net:        netsim.New(clock),
+		GeoDB:      &geo.DB{},
+		ASTable:    &geo.ASTable{},
+		Dir:        urllist.NewDirectory(),
+		Gen:        urllist.NewGenerator(opts.Seed + 1),
+		FieldHosts: make(map[string]*netsim.Host),
+	}
+
+	w.BlueCoatDB = newBlueCoatDB(clock)
+	w.SmartFilterDB = newSmartFilterDB(clock)
+	w.NetsweeperDB = newNetsweeperDB(clock, w.Dir)
+	w.WebsenseDB = newWebsenseDB(clock)
+
+	if err := w.buildInfrastructure(); err != nil {
+		return nil, fmt.Errorf("world: infrastructure: %w", err)
+	}
+	if err := w.buildListSites(); err != nil {
+		return nil, fmt.Errorf("world: list sites: %w", err)
+	}
+	if err := w.buildDeployments(); err != nil {
+		return nil, fmt.Errorf("world: deployments: %w", err)
+	}
+	if err := w.buildBackgroundInstallations(); err != nil {
+		return nil, fmt.Errorf("world: background installations: %w", err)
+	}
+	if opts.FilterSubmissions {
+		w.installSubmissionFilters()
+	}
+	return w, nil
+}
+
+// MustBuild builds the default world or panics (for benchmarks).
+func MustBuild(opts Options) *World {
+	w, err := Build(opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Close shuts the simulated network down.
+func (w *World) Close() { w.Net.Close() }
+
+// Wait advances the virtual clock.
+func (w *World) Wait(d time.Duration) { w.Clock.Advance(d) }
+
+// visibility returns the product-console visibility per the evasion
+// options.
+func (w *World) visibility() netsim.Visibility {
+	if w.Opts.HideConsoles {
+		return netsim.ISPOnly
+	}
+	return netsim.Public
+}
+
+// addAS registers an AS with the network, geolocation DB and whois table.
+func (w *World) addAS(number int, name, country, cidr string) (*netsim.AS, error) {
+	prefix, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return nil, err
+	}
+	as, err := w.Net.AddAS(number, name, country, prefix)
+	if err != nil {
+		return nil, err
+	}
+	w.GeoDB.Add(prefix, country)
+	w.ASTable.Add(geo.ASRecord{ASN: number, Name: name, Country: country, Prefix: prefix})
+	return as, nil
+}
+
+// FieldVantage returns the in-country measurement vantage for an ISP.
+func (w *World) FieldVantage(isp string) (*measurement.Vantage, error) {
+	h, ok := w.FieldHosts[isp]
+	if !ok {
+		return nil, fmt.Errorf("world: no field host in ISP %q", isp)
+	}
+	return &measurement.Vantage{Name: "field:" + isp, Host: h}, nil
+}
+
+// LabVantage returns the Toronto lab vantage.
+func (w *World) LabVantage() *measurement.Vantage {
+	return &measurement.Vantage{Name: "lab:toronto", Host: w.Lab}
+}
+
+// MeasureClient returns the dual-vantage client for an ISP.
+func (w *World) MeasureClient(isp string) (*measurement.Client, error) {
+	field, err := w.FieldVantage(isp)
+	if err != nil {
+		return nil, err
+	}
+	return &measurement.Client{Field: field, Lab: w.LabVantage()}, nil
+}
+
+// LabClient returns an HTTP client dialing from the lab (the researchers'
+// own IP — the one a vendor submission filter would key on).
+func (w *World) LabClient() *httpwire.Client {
+	return &httpwire.Client{Dial: w.Lab.Dialer(), Timeout: 10 * time.Second}
+}
+
+// ProxyClient returns an HTTP client dialing from the proxy vantage (the
+// §6.2 countermeasure to submitter-IP filtering).
+func (w *World) ProxyClient() *httpwire.Client {
+	return &httpwire.Client{Dial: w.ProxyVantage.Dialer(), Timeout: 10 * time.Second}
+}
+
+// Scanner returns a banner scanner at the research vantage.
+func (w *World) Scanner() *scanner.Scanner {
+	return &scanner.Scanner{Vantage: w.ScanVantage}
+}
+
+// Fingerprinter returns a fingerprint engine at the research vantage.
+func (w *World) Fingerprinter() *fingerprint.Engine {
+	return &fingerprint.Engine{Vantage: w.ScanVantage}
+}
+
+// WhoisClient returns a bulk whois client against the simulated Team
+// Cymru service.
+func (w *World) WhoisClient() *geo.WhoisClient {
+	return &geo.WhoisClient{Dial: func(ctx context.Context) (net.Conn, error) {
+		return w.ScanVantage.DialHost(ctx, HostWhois, geo.WhoisPort)
+	}}
+}
