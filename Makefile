@@ -1,0 +1,26 @@
+# Tier-1: the gate every change must pass (see ROADMAP.md).
+.PHONY: test
+test:
+	go build ./... && go test ./...
+
+# Tier-2: static analysis plus the full suite under the race detector.
+# The engine-backed pipelines run every stage through a shared worker
+# pool, so -race is load-bearing here, not ceremonial.
+.PHONY: race
+race:
+	go vet ./... && go test -race ./...
+
+# Regenerate the paper's tables/figures and compare against the golden
+# files (also covered by `make test` via golden_test.go).
+.PHONY: golden
+golden:
+	go test -run TestGolden -count=1 .
+
+# The evaluation benchmarks, including the serial-vs-parallel
+# identification scaling run.
+.PHONY: bench
+bench:
+	go test -run xxx -bench . -benchtime 3x .
+
+.PHONY: ci
+ci: test race

@@ -20,6 +20,7 @@ import (
 	"filtermap/internal/blockpage"
 	"filtermap/internal/characterize"
 	"filtermap/internal/confirm"
+	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
 	"filtermap/internal/httpwire"
 	"filtermap/internal/measurement"
@@ -330,6 +331,47 @@ func BenchmarkAblationValidationStage(b *testing.B) {
 	b.ReportMetric(fpRate*100, "fp-rate-%")
 	if fpRate <= 0 {
 		b.Fatal("expected keyword search to produce false positives for validation to remove")
+	}
+}
+
+// BenchmarkIdentificationWorkers compares the §3 pipeline serial vs
+// pooled: the same pre-built banner index pushed through keyword search,
+// fingerprint validation and geo mapping at 1, 2, 4 and 8 workers. The
+// network carries a per-dial latency modelling the WAN round trip a real
+// scan pays per probe (in-memory dials are otherwise instantaneous and
+// would hide the pool's benefit), so ns/op across the sub-benchmarks
+// shows the engine's speedup while the reports stay identical.
+func BenchmarkIdentificationWorkers(b *testing.B) {
+	w := mustWorld(b, filtermap.Options{})
+	ctx := context.Background()
+	index, err := w.Scanner().ScanNetwork(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Net.SetDialLatency(2 * time.Millisecond)
+	var baseline *filtermap.IdentifyReport
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rep *filtermap.IdentifyReport
+			for i := 0; i < b.N; i++ {
+				p, err := w.IdentifyPipeline(ctx, index)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Config = p.Config.With(engine.WithWorkers(workers))
+				rep, err = p.Run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(rep.Installations)), "installations")
+			if baseline == nil {
+				baseline = rep
+			} else if len(rep.Installations) != len(baseline.Installations) {
+				b.Fatalf("worker count changed the result: %d vs %d installations",
+					len(rep.Installations), len(baseline.Installations))
+			}
+		})
 	}
 }
 

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	fmrepro [-only table1|table2|table3|table4|table5|figure1|denypagetests]
+//	fmrepro [-only table1|table2|table3|table4|table5|figure1|denypagetests] [-stats]
 //
-// Without -only, everything is regenerated in order.
+// Without -only, everything is regenerated in order. With -stats, each
+// step that runs a pipeline prints its per-stage engine timing table to
+// stderr (stdout stays byte-identical for the golden files).
 package main
 
 import (
@@ -26,6 +28,18 @@ import (
 	"filtermap/internal/report"
 	"filtermap/internal/urllist"
 )
+
+var showStats = flag.Bool("stats", false, "print per-stage engine timing tables to stderr")
+
+// dumpStats prints a world's per-stage timing table to stderr when -stats
+// is set. Call it before Close, after the pipelines have run.
+func dumpStats(step string, w *filtermap.World) {
+	if !*showStats {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- %s engine stats ---\n", step)
+	fmt.Fprint(os.Stderr, filtermap.Reporter{}.Stats(w.Stats().Snapshot()))
+}
 
 func main() {
 	only := flag.String("only", "", "regenerate a single artifact: table1..table5, figure1, denypagetests")
@@ -62,7 +76,7 @@ func main() {
 }
 
 func table1(context.Context) error {
-	fmt.Print(filtermap.RenderTable1())
+	fmt.Print(filtermap.Reporter{}.Table1())
 	return nil
 }
 
@@ -85,13 +99,15 @@ func figure1(ctx context.Context) error {
 		return err
 	}
 	defer w.Close()
+	defer dumpStats("figure1", w)
 	rep, err := w.RunIdentification(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Print(filtermap.RenderFigure1(rep))
+	var r filtermap.Reporter
+	fmt.Print(r.Figure1(rep))
 	fmt.Println()
-	fmt.Print(filtermap.RenderInstallations(rep))
+	fmt.Print(r.Installations(rep))
 	return nil
 }
 
@@ -101,11 +117,12 @@ func table3(ctx context.Context) error {
 		return err
 	}
 	defer w.Close()
+	defer dumpStats("table3", w)
 	outcomes, err := w.RunTable3(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Print(filtermap.RenderTable3(outcomes))
+	fmt.Print(filtermap.Reporter{}.Table3(outcomes))
 	return nil
 }
 
@@ -115,12 +132,13 @@ func table4(ctx context.Context) error {
 		return err
 	}
 	defer w.Close()
+	defer dumpStats("table4", w)
 	w.Clock.Advance(8 * time.Hour)
 	reports, err := w.RunCharacterization(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Print(filtermap.RenderTable4(reports))
+	fmt.Print(filtermap.Reporter{}.Table4(reports))
 	fmt.Println("\n(cells reconstructed from §5 prose; see EXPERIMENTS.md)")
 	return nil
 }

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	fmscan [-query "netsweeper country:YE"] [-installations]
+//	fmscan [-query "netsweeper country:YE"] [-installations] [-workers N] [-stats]
 //
 // Without -query it runs the full Table 2 keyword fan-out and prints the
 // Figure 1 map; with -query it prints raw banner-index hits for one
-// Shodan-style query.
+// Shodan-style query. -workers bounds the shared pool every pipeline
+// stage runs on; -stats prints the per-stage timing table to stderr.
 package main
 
 import (
@@ -27,13 +28,20 @@ func main() {
 	showInstalls := flag.Bool("installations", false, "print per-installation detail")
 	saveCensus := flag.String("save-census", "", "write the banner index to a census JSONL file after scanning")
 	loadCensus := flag.String("load-census", "", "load the banner index from a census JSONL file instead of scanning")
+	workers := flag.Int("workers", 0, "worker-pool size for scan/validate/geo stages (0 = default)")
+	showStats := flag.Bool("stats", false, "print the per-stage engine timing table to stderr")
 	flag.Parse()
 
-	w, err := filtermap.NewWorld(filtermap.Options{})
+	w, err := filtermap.NewWorld(filtermap.Options{}, filtermap.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer w.Close()
+	defer func() {
+		if *showStats {
+			fmt.Fprint(os.Stderr, filtermap.Reporter{}.Stats(w.Stats().Snapshot()))
+		}
+	}()
 	ctx := context.Background()
 
 	index, err := buildIndex(ctx, w, *loadCensus)
@@ -74,10 +82,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(filtermap.RenderFigure1(rep))
+	for _, qe := range rep.QueryErrors {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", qe)
+	}
+	var r filtermap.Reporter
+	fmt.Print(r.Figure1(rep))
 	if *showInstalls {
 		fmt.Println()
-		fmt.Print(filtermap.RenderInstallations(rep))
+		fmt.Print(r.Installations(rep))
 	}
 }
 

@@ -25,16 +25,19 @@
 //
 // Quick start:
 //
-//	w, err := filtermap.NewWorld(filtermap.Options{})
+//	w, err := filtermap.NewWorld(filtermap.Options{}, filtermap.WithWorkers(8))
 //	if err != nil { ... }
 //	defer w.Close()
 //	outcomes, err := w.RunTable3(context.Background())
-//	fmt.Print(filtermap.RenderTable3(outcomes))
+//	var r filtermap.Reporter
+//	fmt.Print(r.Table3(outcomes))
+//	fmt.Print(r.Stats(w.Stats().Snapshot()))
 package filtermap
 
 import (
 	"filtermap/internal/characterize"
 	"filtermap/internal/confirm"
+	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/report"
 	"filtermap/internal/world"
@@ -59,8 +62,53 @@ type IdentifyReport = identify.Report
 // CharacterizeReport is one country's §5 output.
 type CharacterizeReport = characterize.Report
 
-// NewWorld builds the default simulated Internet.
-func NewWorld(opts Options) (*World, error) { return world.Build(opts) }
+// Execution-substrate types re-exported from the shared engine, so callers
+// can tune concurrency and observe progress without reaching into
+// internal packages.
+type (
+	// Option tunes the shared execution substrate (worker pool, retry,
+	// observability) at world construction.
+	Option = engine.Option
+	// RetryPolicy bounds per-item retries in pooled stages.
+	RetryPolicy = engine.RetryPolicy
+	// Observer receives structured progress events from pooled stages.
+	Observer = engine.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = engine.ObserverFunc
+	// Event is one progress notification (stage, item, attempt, latency).
+	Event = engine.Event
+	// Stats accumulates per-stage counters and latency histograms.
+	Stats = engine.Stats
+	// StatsSnapshot is a point-in-time view of all recorded stages.
+	StatsSnapshot = engine.Snapshot
+)
+
+// WithWorkers bounds pool concurrency for every pooled pipeline stage.
+func WithWorkers(n int) Option { return engine.WithWorkers(n) }
+
+// WithObserver installs a progress-event sink on every pooled stage.
+func WithObserver(o Observer) Option { return engine.WithObserver(o) }
+
+// WithRetryPolicy sets the per-item retry policy for pooled stages.
+func WithRetryPolicy(p RetryPolicy) Option { return engine.WithRetryPolicy(p) }
+
+// DefaultRetryPolicy retries twice with a short exponential backoff.
+func DefaultRetryPolicy() RetryPolicy { return engine.DefaultRetryPolicy() }
+
+// NewStats builds a standalone metrics registry (NewWorld installs one
+// automatically; use this only to share a registry across worlds).
+func NewStats() *Stats { return engine.NewStats() }
+
+// NewWorld builds the default simulated Internet. Trailing options tune
+// the shared execution substrate, e.g.
+//
+//	filtermap.NewWorld(filtermap.Options{}, filtermap.WithWorkers(8))
+//
+// The Options struct keeps its previous meaning; calls without engine
+// options behave exactly as before.
+func NewWorld(opts Options, engOpts ...Option) (*World, error) {
+	return world.Build(opts, engOpts...)
+}
 
 // ISP names and AS numbers of the paper's case studies.
 const (
@@ -79,22 +127,55 @@ const (
 	ASNYemenNet = world.ASNYemenNet
 )
 
-// RenderTable1 renders the paper's product inventory.
-func RenderTable1() string {
+// Reporter renders the paper's tables and figures. The zero value is
+// ready to use; it exists as a type (rather than free functions) so
+// rendering gains a single extension point for future output formats.
+type Reporter struct{}
+
+// Table1 renders the paper's product inventory.
+func (Reporter) Table1() string {
 	return report.Table1(report.DefaultProductInventory())
 }
 
-// RenderTable3 renders confirmation outcomes in the paper's Table 3
-// layout.
-func RenderTable3(outcomes []*Outcome) string { return report.Table3(outcomes) }
+// Table3 renders confirmation outcomes in the paper's Table 3 layout.
+func (Reporter) Table3(outcomes []*Outcome) string { return report.Table3(outcomes) }
 
-// RenderTable4 renders characterization reports as the Table 4 matrix.
-func RenderTable4(reports []*CharacterizeReport) string {
+// Table4 renders characterization reports as the Table 4 matrix.
+func (Reporter) Table4(reports []*CharacterizeReport) string {
 	return report.Table4(characterize.Matrix(reports))
 }
 
+// Figure1 renders the identification report as the Figure 1 map.
+func (Reporter) Figure1(rep *IdentifyReport) string { return report.Figure1(rep) }
+
+// Installations renders per-installation identification detail.
+func (Reporter) Installations(rep *IdentifyReport) string { return report.Installations(rep) }
+
+// Stats renders a per-stage timing table from an engine snapshot.
+func (Reporter) Stats(snap StatsSnapshot) string { return snap.Render() }
+
+// RenderTable1 renders the paper's product inventory.
+//
+// Deprecated: use Reporter.Table1.
+func RenderTable1() string { return Reporter{}.Table1() }
+
+// RenderTable3 renders confirmation outcomes in the paper's Table 3
+// layout.
+//
+// Deprecated: use Reporter.Table3.
+func RenderTable3(outcomes []*Outcome) string { return Reporter{}.Table3(outcomes) }
+
+// RenderTable4 renders characterization reports as the Table 4 matrix.
+//
+// Deprecated: use Reporter.Table4.
+func RenderTable4(reports []*CharacterizeReport) string { return Reporter{}.Table4(reports) }
+
 // RenderFigure1 renders the identification report as the Figure 1 map.
-func RenderFigure1(rep *IdentifyReport) string { return report.Figure1(rep) }
+//
+// Deprecated: use Reporter.Figure1.
+func RenderFigure1(rep *IdentifyReport) string { return Reporter{}.Figure1(rep) }
 
 // RenderInstallations renders per-installation identification detail.
-func RenderInstallations(rep *IdentifyReport) string { return report.Installations(rep) }
+//
+// Deprecated: use Reporter.Installations.
+func RenderInstallations(rep *IdentifyReport) string { return Reporter{}.Installations(rep) }

@@ -16,10 +16,20 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
+	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
 	"filtermap/internal/geo"
 	"filtermap/internal/scanner"
+)
+
+// Stage names the pipeline records in its engine.Stats registry.
+const (
+	StageSearch   = "search"
+	StageValidate = "validate"
+	StageWhois    = "whois"
+	StageGeo      = "geo"
 )
 
 // Installation is one validated URL-filter observation.
@@ -48,6 +58,26 @@ func (i *Installation) HasProduct(product string) bool {
 	return false
 }
 
+// QueryError records one banner-index query that failed during the
+// keyword fan-out. A bad query no longer aborts the whole run; it is
+// reported here and the scan continues.
+type QueryError struct {
+	// Product is the product whose keyword set produced the query.
+	Product string
+	// Query is the Shodan-style query string that failed.
+	Query string
+	// Err is the failure.
+	Err error
+}
+
+// Error implements error.
+func (e QueryError) Error() string {
+	return fmt.Sprintf("identify: product %s query %q: %v", e.Product, e.Query, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e QueryError) Unwrap() error { return e.Err }
+
 // Report is the pipeline outcome.
 type Report struct {
 	// Installations are the validated hosts, sorted by address.
@@ -59,6 +89,10 @@ type Report struct {
 	// CandidatesByProduct maps product -> candidate addresses from the
 	// keyword stage (before validation).
 	CandidatesByProduct map[string][]netip.Addr
+	// QueryErrors lists keyword queries that failed mid fan-out, sorted
+	// by (product, query). The run continues past them; callers decide
+	// whether partial coverage is acceptable.
+	QueryErrors []QueryError
 }
 
 // ProductCountries maps each product to the sorted set of countries where
@@ -128,6 +162,9 @@ type Pipeline struct {
 	// SkipValidation disables the fingerprint stage (for the ablation
 	// benchmark only — production use keeps it on).
 	SkipValidation bool
+	// Config carries the shared execution knobs (workers, timeout, retry,
+	// stats, observer) for the pipeline's pooled stages.
+	Config engine.Config
 }
 
 func (p *Pipeline) keywords() map[string][]string {
@@ -137,7 +174,9 @@ func (p *Pipeline) keywords() map[string][]string {
 	return fingerprint.ShodanKeywords()
 }
 
-// Run executes the pipeline.
+// Run executes the pipeline. The three stages fan out through the shared
+// engine pool; results are collected and sorted so the report is
+// byte-identical regardless of worker count.
 func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 	if p.Index == nil {
 		return nil, fmt.Errorf("identify: no banner index")
@@ -148,68 +187,127 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 		countries = p.Index.Countries()
 	}
 
-	// Stage 1: keyword fan-out. Queries run bare and per-country; the
-	// union of hits per product forms the candidate set.
-	candidates := make(map[netip.Addr]bool)
-	candidatesByProduct := make(map[string][]netip.Addr)
-	for product, kws := range p.keywords() {
+	report, addrs, err := p.runSearch(ctx, countries)
+	if err != nil {
+		return nil, err
+	}
+
+	vals, err := p.runValidation(ctx, addrs, report.CandidatesByProduct)
+	if err != nil {
+		return nil, err
+	}
+	report.ValidatedCount = len(vals)
+
+	if err := p.runGeoMapping(ctx, vals, report); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// productHits is one product's share of the stage-1 fan-out.
+type productHits struct {
+	addrs  []netip.Addr
+	errors []QueryError
+}
+
+// runSearch is stage 1: the keyword fan-out, parallel across products.
+// Queries run bare and per-country; the union of hits per product forms
+// the candidate set. A failing query is recorded, not fatal.
+func (p *Pipeline) runSearch(ctx context.Context, countries []string) (*Report, []netip.Addr, error) {
+	products := make([]string, 0, len(p.keywords()))
+	for product := range p.keywords() {
+		products = append(products, product)
+	}
+	sort.Strings(products)
+
+	results := engine.MapResults(ctx, p.Config, StageSearch, products, func(_ context.Context, product string) (productHits, error) {
+		var hits productHits
 		seen := make(map[netip.Addr]bool)
-		for _, kw := range kws {
+		for _, kw := range p.keywords()[product] {
 			queries := []string{kw}
 			for _, cc := range countries {
 				queries = append(queries, fmt.Sprintf("%s country:%s", kw, cc))
 			}
 			for _, q := range queries {
-				hits, err := p.Index.SearchString(q)
+				banners, err := p.Index.SearchString(q)
 				if err != nil {
-					return nil, fmt.Errorf("identify: query %q: %w", q, err)
+					hits.errors = append(hits.errors, QueryError{Product: product, Query: q, Err: err})
+					continue
 				}
-				for _, b := range hits {
+				for _, b := range banners {
 					if !seen[b.Addr] {
 						seen[b.Addr] = true
-						candidatesByProduct[product] = append(candidatesByProduct[product], b.Addr)
+						hits.addrs = append(hits.addrs, b.Addr)
 					}
-					candidates[b.Addr] = true
 				}
 			}
 		}
-		sort.Slice(candidatesByProduct[product], func(i, j int) bool {
-			return candidatesByProduct[product][i].Less(candidatesByProduct[product][j])
-		})
+		sort.Slice(hits.addrs, func(i, j int) bool { return hits.addrs[i].Less(hits.addrs[j]) })
+		return hits, nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
+
+	candidates := make(map[netip.Addr]bool)
+	candidatesByProduct := make(map[string][]netip.Addr)
+	report := &Report{CandidatesByProduct: candidatesByProduct}
+	for i, product := range products {
+		hits := results[i].Value
+		if len(hits.addrs) > 0 {
+			candidatesByProduct[product] = hits.addrs
+		}
+		report.QueryErrors = append(report.QueryErrors, hits.errors...)
+		for _, a := range hits.addrs {
+			candidates[a] = true
+		}
+	}
+	sort.Slice(report.QueryErrors, func(i, j int) bool {
+		a, b := report.QueryErrors[i], report.QueryErrors[j]
+		if a.Product != b.Product {
+			return a.Product < b.Product
+		}
+		return a.Query < b.Query
+	})
 
 	addrs := make([]netip.Addr, 0, len(candidates))
 	for a := range candidates {
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	report.CandidateCount = len(addrs)
+	return report, addrs, nil
+}
 
-	report := &Report{
-		CandidateCount:      len(addrs),
-		CandidatesByProduct: candidatesByProduct,
+// validated is one host that survived stage 2.
+type validated struct {
+	addr     netip.Addr
+	products []string
+	matches  []fingerprint.Match
+}
+
+// runValidation is stage 2: fingerprint validation, parallel across
+// candidate addresses. Output preserves the (sorted) candidate order, so
+// the result is deterministic for any worker count.
+func (p *Pipeline) runValidation(ctx context.Context, addrs []netip.Addr, candidatesByProduct map[string][]netip.Addr) ([]validated, error) {
+	if p.SkipValidation {
+		out := make([]validated, 0, len(addrs))
+		for _, addr := range addrs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out = append(out, validated{addr: addr, products: productsFromCandidates(candidatesByProduct, addr)})
+		}
+		return out, nil
 	}
 
-	// Stage 2: validation.
-	type validated struct {
-		addr     netip.Addr
-		products []string
-		matches  []fingerprint.Match
-	}
-	var vals []validated
-	for _, addr := range addrs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if p.SkipValidation {
-			vals = append(vals, validated{addr: addr, products: productsFromCandidates(candidatesByProduct, addr)})
-			continue
-		}
+	results, err := engine.Map(ctx, p.Config, StageValidate, addrs, func(ctx context.Context, addr netip.Addr) (*validated, error) {
 		matches, err := p.Fingerprinter.Identify(ctx, addr)
 		if err != nil {
 			return nil, fmt.Errorf("identify: fingerprint %s: %w", addr, err)
 		}
 		if len(matches) == 0 {
-			continue
+			return nil, nil
 		}
 		set := make(map[string]bool)
 		var products []string
@@ -220,27 +318,41 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 			}
 		}
 		sort.Strings(products)
-		vals = append(vals, validated{addr: addr, products: products, matches: matches})
+		return &validated{addr: addr, products: products, matches: matches}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	report.ValidatedCount = len(vals)
+	var vals []validated
+	for _, v := range results {
+		if v != nil {
+			vals = append(vals, *v)
+		}
+	}
+	return vals, nil
+}
 
-	// Stage 3: geo/AS mapping.
+// runGeoMapping is stage 3: one bulk whois lookup, then parallel
+// per-installation geo/AS assembly.
+func (p *Pipeline) runGeoMapping(ctx context.Context, vals []validated, report *Report) error {
 	valAddrs := make([]netip.Addr, len(vals))
 	for i, v := range vals {
 		valAddrs[i] = v.addr
 	}
 	whoisResults := make(map[netip.Addr]geo.WhoisResult)
 	if p.Whois != nil && len(valAddrs) > 0 {
+		start := time.Now()
 		results, err := p.Whois.Lookup(ctx, valAddrs)
+		p.Config.Stats.Stage(StageWhois).Record(time.Since(start), err == nil)
 		if err != nil {
-			return nil, fmt.Errorf("identify: whois: %w", err)
+			return fmt.Errorf("identify: whois: %w", err)
 		}
 		for _, r := range results {
 			whoisResults[r.Addr] = r
 		}
 	}
 
-	for _, v := range vals {
+	installations, err := engine.Map(ctx, p.Config, StageGeo, vals, func(_ context.Context, v validated) (Installation, error) {
 		inst := Installation{Addr: v.addr, Products: v.products, Matches: v.matches}
 		if p.Fingerprinter != nil && p.Fingerprinter.Vantage != nil {
 			if name, ok := p.Fingerprinter.Vantage.Network().ReverseLookup(v.addr); ok {
@@ -259,12 +371,16 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 				inst.Country = w.Country
 			}
 		}
-		report.Installations = append(report.Installations, inst)
+		return inst, nil
+	})
+	if err != nil {
+		return err
 	}
+	report.Installations = installations
 	sort.Slice(report.Installations, func(i, j int) bool {
 		return report.Installations[i].Addr.Less(report.Installations[j].Addr)
 	})
-	return report, nil
+	return nil
 }
 
 func productsFromCandidates(byProduct map[string][]netip.Addr, addr netip.Addr) []string {

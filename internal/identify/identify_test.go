@@ -4,9 +4,11 @@ import (
 	"context"
 	"net"
 	"net/netip"
+	"reflect"
 	"testing"
 	"time"
 
+	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
 	"filtermap/internal/geo"
 	"filtermap/internal/httpwire"
@@ -231,5 +233,75 @@ func TestPipelineExplicitCountryFanout(t *testing.T) {
 	}
 	if len(rep.Installations) != 2 {
 		t.Fatalf("installations = %d", len(rep.Installations))
+	}
+}
+
+func TestPipelineRecordsQueryErrorsAndContinues(t *testing.T) {
+	f := newFixture(t)
+	// One malformed keyword (bad port: filter) alongside a working one:
+	// the bad query must be reported, not abort the run.
+	f.pipeline.Keywords = map[string][]string{
+		fingerprint.ProductNetsweeper:  {"netsweeper webadmin", "port:notaport"},
+		fingerprint.ProductSmartFilter: {"mcafee web gateway"},
+	}
+	rep, err := f.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run aborted on a recoverable query error: %v", err)
+	}
+	if len(rep.QueryErrors) == 0 {
+		t.Fatal("no QueryErrors recorded for the malformed keyword")
+	}
+	for _, qe := range rep.QueryErrors {
+		if qe.Product != fingerprint.ProductNetsweeper {
+			t.Fatalf("query error attributed to %q", qe.Product)
+		}
+		if qe.Err == nil || qe.Query == "" {
+			t.Fatalf("incomplete query error %+v", qe)
+		}
+	}
+	// The working keywords still validated both genuine installations.
+	if len(rep.Installations) != 2 {
+		t.Fatalf("installations = %d, want 2 despite query errors", len(rep.Installations))
+	}
+}
+
+func TestPipelineParallelMatchesSerial(t *testing.T) {
+	// Run the same pipeline serially and with an 8-worker pool (under
+	// -race this also exercises the concurrent validation path) and
+	// require identical reports.
+	serial := newFixture(t)
+	serial.pipeline.Config = engine.NewConfig(engine.WithWorkers(1))
+	want, err := serial.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := engine.NewStats()
+	parallel := newFixture(t)
+	parallel.pipeline.Config = engine.NewConfig(engine.WithWorkers(8), engine.WithStats(stats))
+	got, err := parallel.pipeline.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.CandidateCount != want.CandidateCount || got.ValidatedCount != want.ValidatedCount {
+		t.Fatalf("counts diverge: parallel %d/%d, serial %d/%d",
+			got.CandidateCount, got.ValidatedCount, want.CandidateCount, want.ValidatedCount)
+	}
+	if !reflect.DeepEqual(got.Installations, want.Installations) {
+		t.Fatalf("installations diverge:\nparallel: %+v\nserial:   %+v", got.Installations, want.Installations)
+	}
+	if !reflect.DeepEqual(got.CandidatesByProduct, want.CandidatesByProduct) {
+		t.Fatalf("candidates diverge:\nparallel: %+v\nserial:   %+v", got.CandidatesByProduct, want.CandidatesByProduct)
+	}
+
+	for _, stage := range []string{StageSearch, StageValidate, StageGeo} {
+		snap := stats.Snapshot().Stage(stage)
+		if snap.Attempts == 0 {
+			t.Fatalf("stage %s recorded no attempts", stage)
+		}
+		if snap.P50 <= 0 || snap.P99 < snap.P50 {
+			t.Fatalf("stage %s quantiles = p50 %v p99 %v", stage, snap.P50, snap.P99)
+		}
 	}
 }

@@ -18,9 +18,21 @@ import (
 	"time"
 
 	"filtermap/internal/blockpage"
+	"filtermap/internal/engine"
 	"filtermap/internal/httpwire"
 	"filtermap/internal/netsim"
 )
+
+// Defaults for the zero-value Client.
+const (
+	// DefaultFetchTimeout bounds each fetch.
+	DefaultFetchTimeout = 10 * time.Second
+	// DefaultMeasureWorkers bounds concurrent URL tests in TestList.
+	DefaultMeasureWorkers = 8
+)
+
+// StageMeasure names the TestList stage in the engine.Stats registry.
+const StageMeasure = "measure"
 
 // Verdict is the outcome of one URL test.
 type Verdict int
@@ -120,9 +132,25 @@ type Client struct {
 	// corpus.
 	Classifier *blockpage.Classifier
 	// Timeout bounds each fetch (default 10s).
+	//
+	// Deprecated: set Config.Timeout (or use NewClient with
+	// engine.WithTimeout). Timeout still wins when both are set, so
+	// existing struct-literal construction keeps working.
 	Timeout time.Duration
 	// MaxRedirects bounds each redirect chain (default 10).
 	MaxRedirects int
+	// Config carries the shared execution knobs (workers, timeout, retry,
+	// stats, observer) for TestList's URL fan-out.
+	Config engine.Config
+}
+
+// NewClient builds a dual-vantage client with functional options, e.g.
+//
+//	measurement.NewClient(field, lab, engine.WithWorkers(4), engine.WithStats(stats))
+//
+// Struct-literal construction remains supported.
+func NewClient(field, lab *Vantage, opts ...engine.Option) *Client {
+	return &Client{Field: field, Lab: lab, Config: engine.NewConfig(opts...)}
 }
 
 func (c *Client) classifier() *blockpage.Classifier {
@@ -136,7 +164,17 @@ func (c *Client) timeout() time.Duration {
 	if c.Timeout > 0 {
 		return c.Timeout
 	}
-	return 10 * time.Second
+	return c.Config.TimeoutOr(DefaultFetchTimeout)
+}
+
+// engineConfig resolves the pool configuration for TestList. The engine
+// imposes no extra per-item timeout: each fetch already bounds itself via
+// timeout(), and one URL test is two fetches.
+func (c *Client) engineConfig() engine.Config {
+	cfg := c.Config
+	cfg.Workers = cfg.WorkersOr(DefaultMeasureWorkers)
+	cfg.Timeout = 0
+	return cfg
 }
 
 // TestURL measures one URL from both vantages and compares.
@@ -148,15 +186,22 @@ func (c *Client) TestURL(ctx context.Context, rawurl string) Result {
 	return res
 }
 
-// TestList measures each URL in order (§4.1 tests "short lists of URLs
-// that are amenable to manual analysis").
+// TestList measures every URL through the shared worker pool and returns
+// results in list order (§4.1 tests "short lists of URLs that are
+// amenable to manual analysis", so the lists are small but each URL costs
+// two fetches — parallelism pays). A cancelled context truncates the
+// tail: undispatched URLs are dropped, matching the old serial behavior.
 func (c *Client) TestList(ctx context.Context, urls []string) []Result {
+	results := engine.MapResults(ctx, c.engineConfig(), StageMeasure, urls, func(ctx context.Context, u string) (Result, error) {
+		return c.TestURL(ctx, u), nil
+	})
 	out := make([]Result, 0, len(urls))
-	for _, u := range urls {
-		out = append(out, c.TestURL(ctx, u))
-		if ctx.Err() != nil {
-			break
+	for _, r := range results {
+		if r.Err != nil {
+			// Only cancellation produces an error here; drop the item.
+			continue
 		}
+		out = append(out, r.Value)
 	}
 	return out
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"filtermap/internal/simclock"
 )
@@ -156,13 +157,14 @@ func (f InterceptorFunc) Intercept(info DialInfo) Handler { return f(info) }
 type Network struct {
 	clock simclock.Clock
 
-	mu     sync.RWMutex
-	hosts  map[netip.Addr]*Host
-	dns    map[string]netip.Addr
-	rdns   map[netip.Addr]string
-	ases   map[int]*AS
-	isps   map[string]*ISP
-	closed bool
+	mu          sync.RWMutex
+	hosts       map[netip.Addr]*Host
+	dns         map[string]netip.Addr
+	rdns        map[netip.Addr]string
+	ases        map[int]*AS
+	isps        map[string]*ISP
+	dialLatency time.Duration
+	closed      bool
 }
 
 // New returns an empty simulated Internet. If clock is nil the system clock
@@ -183,6 +185,17 @@ func New(clock simclock.Clock) *Network {
 
 // Clock returns the network's time source.
 func (n *Network) Clock() simclock.Clock { return n.clock }
+
+// SetDialLatency imposes a wall-clock delay on every connection attempt,
+// modelling the WAN round-trip a real scan pays per probe. The default is
+// zero (instantaneous dials), which keeps the unit tests fast; benchmarks
+// comparing serial and pooled pipelines set a realistic latency so the
+// speedup they report reflects real scanning conditions.
+func (n *Network) SetDialLatency(d time.Duration) {
+	n.mu.Lock()
+	n.dialLatency = d
+	n.mu.Unlock()
+}
 
 // AddAS registers an autonomous system. The AS number must be unused.
 func (n *Network) AddAS(number int, name, country string, prefixes ...netip.Prefix) (*AS, error) {
@@ -401,12 +414,22 @@ func (n *Network) dial(ctx context.Context, src *Host, dst netip.Addr, port uint
 	n.mu.RLock()
 	closed := n.closed
 	dstHost := n.hosts[dst]
+	latency := n.dialLatency
 	n.mu.RUnlock()
 	if closed {
 		return nil, ErrNetworkClosed
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
 	}
 
 	info := DialInfo{Src: src.addr, Dst: dst, Port: port, Hostname: hostname}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"filtermap/internal/engine"
 	"filtermap/internal/httpwire"
 	"filtermap/internal/netsim"
 )
@@ -58,7 +59,18 @@ func (b *Banner) Text() string {
 	return strings.ToLower(b.Hostname + "\n" + b.RawHead + "\n" + b.BodyExcerpt)
 }
 
-// Scanner probes hosts and builds an Index.
+// Default probe bounds (used when neither the legacy fields nor the
+// engine config set them).
+const (
+	DefaultProbeTimeout   = 5 * time.Second
+	DefaultScanWorkers    = 32
+	DefaultBodyExcerptLen = 2048
+)
+
+// Scanner probes hosts and builds an Index. Concurrency, timeout, retry
+// and observability knobs live in the shared engine Config; the legacy
+// Timeout/Workers fields remain honoured so struct-literal construction
+// keeps working.
 type Scanner struct {
 	// Vantage is the host the scan originates from (a neutral,
 	// unfiltered network position).
@@ -68,9 +80,21 @@ type Scanner struct {
 	// BodyExcerptLen bounds indexed body bytes (default 2048).
 	BodyExcerptLen int
 	// Timeout bounds each probe (default 5s).
+	// Deprecated: set Config.Timeout (or use New with engine.WithTimeout).
 	Timeout time.Duration
 	// Workers bounds concurrent probes (default 32).
+	// Deprecated: set Config.Workers (or use New with engine.WithWorkers).
 	Workers int
+	// Config carries the shared execution knobs (workers, timeout, retry,
+	// stats, observer). The zero value uses the scanner defaults.
+	Config engine.Config
+}
+
+// New builds a Scanner from the research vantage and engine options:
+//
+//	scanner.New(vantage, engine.WithWorkers(64), engine.WithStats(stats))
+func New(vantage *netsim.Host, opts ...engine.Option) *Scanner {
+	return &Scanner{Vantage: vantage, Config: engine.NewConfig(opts...)}
 }
 
 func (s *Scanner) ports() []uint16 {
@@ -84,25 +108,28 @@ func (s *Scanner) excerptLen() int {
 	if s.BodyExcerptLen > 0 {
 		return s.BodyExcerptLen
 	}
-	return 2048
+	return DefaultBodyExcerptLen
 }
 
-func (s *Scanner) timeout() time.Duration {
-	if s.Timeout > 0 {
-		return s.Timeout
-	}
-	return 5 * time.Second
-}
-
-func (s *Scanner) workers() int {
+// engineConfig resolves the effective execution config: explicit legacy
+// fields win over Config values, which win over the scan defaults.
+func (s *Scanner) engineConfig() engine.Config {
+	cfg := s.Config
 	if s.Workers > 0 {
-		return s.Workers
+		cfg.Workers = s.Workers
 	}
-	return 32
+	if s.Timeout > 0 {
+		cfg.Timeout = s.Timeout
+	}
+	cfg.Workers = cfg.WorkersOr(DefaultScanWorkers)
+	cfg.Timeout = cfg.TimeoutOr(DefaultProbeTimeout)
+	return cfg
 }
 
 // ScanAddrs probes every addr×port combination and returns an Index of
-// services that answered.
+// services that answered. Probes run through the shared engine pool;
+// unanswered probes are normal (dark space, closed ports) and are not
+// failures.
 func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) (*Index, error) {
 	if s.Vantage == nil {
 		return nil, fmt.Errorf("scanner: no vantage host")
@@ -111,34 +138,20 @@ func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) (*Index, er
 		addr netip.Addr
 		port uint16
 	}
-	jobs := make(chan job)
-	idx := NewIndex()
-	var wg sync.WaitGroup
-	for i := 0; i < s.workers(); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if banner, ok := s.probe(ctx, j.addr, j.port); ok {
-					idx.Add(banner)
-				}
-			}
-		}()
-	}
+	jobs := make([]job, 0, len(addrs)*len(s.ports()))
 	for _, a := range addrs {
 		for _, p := range s.ports() {
-			select {
-			case jobs <- job{a, p}:
-			case <-ctx.Done():
-				close(jobs)
-				wg.Wait()
-				return idx, ctx.Err()
-			}
+			jobs = append(jobs, job{a, p})
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	return idx, nil
+	idx := NewIndex()
+	err := engine.ForEach(ctx, s.engineConfig(), "scan", jobs, func(ctx context.Context, j job) error {
+		if banner, ok := s.probe(ctx, j.addr, j.port); ok {
+			idx.Add(banner)
+		}
+		return nil
+	})
+	return idx, err
 }
 
 // ScanNetwork sweeps every registered host in the network.
@@ -162,9 +175,8 @@ func (s *Scanner) ScanPrefix(ctx context.Context, prefix netip.Prefix, maxAddrs 
 }
 
 // probe performs one banner grab: TCP connect, plain GET /, read response.
+// The per-probe timeout arrives as the engine-imposed ctx deadline.
 func (s *Scanner) probe(ctx context.Context, addr netip.Addr, port uint16) (Banner, bool) {
-	ctx, cancel := context.WithTimeout(ctx, s.timeout())
-	defer cancel()
 	conn, err := s.Vantage.Dial(ctx, addr, port)
 	if err != nil {
 		return Banner{}, false

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"filtermap/internal/characterize"
+	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/scanner"
 	"filtermap/internal/urllist"
@@ -28,6 +29,7 @@ func (w *World) IdentifyPipeline(ctx context.Context, index *scanner.Index) (*id
 		Fingerprinter: w.Fingerprinter(),
 		GeoDB:         w.GeoDB,
 		Whois:         w.WhoisClient(),
+		Config:        w.Engine,
 	}, nil
 }
 
@@ -80,8 +82,18 @@ func (w *World) CharacterizationRuns() ([]characterize.Run, error) {
 	return runs, nil
 }
 
-// RunCharacterization runs §5 for every target and returns the reports
-// (Table 4's input). Callers should position the clock at an hour when
+// StageCharacterize names the per-country §5 stage in the engine.Stats
+// registry; StageCampaign names the Table 3 case-study stage.
+const (
+	StageCharacterize = "characterize"
+	StageCampaign     = "campaign"
+)
+
+// RunCharacterization runs §5 for every target in parallel through the
+// shared pool and returns the reports in target order (Table 4's input).
+// Country runs are independent — distinct field vantages, shared
+// read-only policy state, no clock advancement — so parallelism does not
+// change any verdict. Callers should position the clock at an hour when
 // the YemenNet license permits filtering; EnsureYemenFilteringActive does
 // that.
 func (w *World) RunCharacterization(ctx context.Context) ([]*characterize.Report, error) {
@@ -90,11 +102,9 @@ func (w *World) RunCharacterization(ctx context.Context) ([]*characterize.Report
 	if err != nil {
 		return nil, err
 	}
-	reports := make([]*characterize.Report, 0, len(runs))
-	for _, r := range runs {
-		reports = append(reports, characterize.Characterize(ctx, r))
-	}
-	return reports, nil
+	return engine.Map(ctx, w.Engine, StageCharacterize, runs, func(ctx context.Context, r characterize.Run) (*characterize.Report, error) {
+		return characterize.Characterize(ctx, r), nil
+	})
 }
 
 // EnsureYemenFilteringActive advances the clock (up to 24h) to an hour

@@ -9,6 +9,7 @@ import (
 
 	"filtermap/internal/categorydb"
 	"filtermap/internal/confirm"
+	"filtermap/internal/engine"
 	"filtermap/internal/httpwire"
 	"filtermap/internal/products/bluecoat"
 	"filtermap/internal/products/netsweeper"
@@ -310,27 +311,38 @@ func (w *World) Table3Plans() []Plan {
 
 // RunTable3 executes all ten case studies chronologically on the world's
 // clock and returns the outcomes in Table 3 row order.
+//
+// Campaigns run through the engine at one worker: each plan advances the
+// shared manual clock to its StartAt, so campaigns must execute strictly
+// in schedule order — the pool here buys stats/observability, not
+// parallelism. The URL measurements inside each campaign still fan out.
 func (w *World) RunTable3(ctx context.Context) ([]*confirm.Outcome, error) {
 	plans := w.Table3Plans()
+	// No engine retry or timeout either: a campaign advances the clock and
+	// submits URLs to vendors, so re-running one on failure would replay
+	// side effects against mutated state.
+	cfg := w.Engine.With(engine.WithWorkers(1), engine.WithTimeout(0), engine.WithRetryPolicy(engine.RetryPolicy{}))
 	type keyed struct {
 		order   int
 		outcome *confirm.Outcome
 	}
-	var results []keyed
-	for _, p := range plans {
+	results, err := engine.Map(ctx, cfg, StageCampaign, plans, func(ctx context.Context, p Plan) (keyed, error) {
 		if w.Clock.Now().After(p.StartAt) {
-			return nil, fmt.Errorf("world: clock %v already past plan %s start %v", w.Clock.Now(), p.Key, p.StartAt)
+			return keyed{}, fmt.Errorf("world: clock %v already past plan %s start %v", w.Clock.Now(), p.Key, p.StartAt)
 		}
 		w.Clock.AdvanceTo(p.StartAt)
 		campaign, err := p.Build()
 		if err != nil {
-			return nil, fmt.Errorf("world: build %s: %w", p.Key, err)
+			return keyed{}, fmt.Errorf("world: build %s: %w", p.Key, err)
 		}
 		outcome, err := confirm.Run(ctx, campaign)
 		if err != nil {
-			return nil, fmt.Errorf("world: run %s: %w", p.Key, err)
+			return keyed{}, fmt.Errorf("world: run %s: %w", p.Key, err)
 		}
-		results = append(results, keyed{p.TableOrder, outcome})
+		return keyed{p.TableOrder, outcome}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].order < results[j].order })
 	out := make([]*confirm.Outcome, len(results))

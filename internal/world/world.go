@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"filtermap/internal/categorydb"
+	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
 	"filtermap/internal/geo"
 	"filtermap/internal/httpwire"
@@ -89,6 +90,11 @@ type World struct {
 	Clock *simclock.Manual
 	Net   *netsim.Network
 
+	// Engine is the shared execution configuration every pooled pipeline
+	// stage inherits (workers, timeout, retry, stats, observer). Build
+	// always installs a Stats registry so Stats() is never nil.
+	Engine engine.Config
+
 	GeoDB   *geo.DB
 	ASTable *geo.ASTable
 	Dir     *urllist.Directory
@@ -123,13 +129,24 @@ type licenseHandle struct {
 	Load          func(time.Time) int
 }
 
-// Build constructs the default world.
-func Build(opts Options) (*World, error) {
+// Build constructs the default world. Engine options (engine.WithWorkers,
+// engine.WithObserver, engine.WithRetryPolicy, ...) tune the shared
+// execution substrate; omitting them keeps the defaults.
+func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 	clock := simclock.NewManual(opts.Start)
+	engCfg := engine.NewConfig(engOpts...)
+	if engCfg.Stats == nil {
+		engCfg.Stats = engine.NewStats()
+	}
+	if engCfg.Sleep == nil {
+		// Retry backoffs wait on the virtual clock, not the wall clock.
+		engCfg.Sleep = func(_ context.Context, d time.Duration) { clock.Advance(d) }
+	}
 	w := &World{
 		Opts:       opts,
 		Clock:      clock,
 		Net:        netsim.New(clock),
+		Engine:     engCfg,
 		GeoDB:      &geo.DB{},
 		ASTable:    &geo.ASTable{},
 		Dir:        urllist.NewDirectory(),
@@ -171,6 +188,11 @@ func MustBuild(opts Options) *World {
 
 // Close shuts the simulated network down.
 func (w *World) Close() { w.Net.Close() }
+
+// Stats returns the engine metrics registry shared by every pooled stage
+// this world runs (scan, search, validate, whois, geo, measure,
+// characterize, campaign). Never nil.
+func (w *World) Stats() *engine.Stats { return w.Engine.Stats }
 
 // Wait advances the virtual clock.
 func (w *World) Wait(d time.Duration) { w.Clock.Advance(d) }
@@ -219,7 +241,7 @@ func (w *World) MeasureClient(isp string) (*measurement.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &measurement.Client{Field: field, Lab: w.LabVantage()}, nil
+	return &measurement.Client{Field: field, Lab: w.LabVantage(), Config: w.Engine}, nil
 }
 
 // LabClient returns an HTTP client dialing from the lab (the researchers'
@@ -236,7 +258,7 @@ func (w *World) ProxyClient() *httpwire.Client {
 
 // Scanner returns a banner scanner at the research vantage.
 func (w *World) Scanner() *scanner.Scanner {
-	return &scanner.Scanner{Vantage: w.ScanVantage}
+	return &scanner.Scanner{Vantage: w.ScanVantage, Config: w.Engine}
 }
 
 // Fingerprinter returns a fingerprint engine at the research vantage.
