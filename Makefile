@@ -22,5 +22,17 @@ golden:
 bench:
 	go test -run xxx -bench . -benchtime 3x .
 
+# Run the HTTP service (see DESIGN.md §8 and README "Running as a
+# service" for the endpoint tour).
+.PHONY: serve
+serve:
+	go run ./cmd/fmserve -addr :8080
+
+# The service-layer benchmark: the cached /v1/identify hot path through
+# the full HTTP stack.
+.PHONY: bench-serve
+bench-serve:
+	go test -run xxx -bench BenchmarkServeCachedIdentify ./internal/server/
+
 .PHONY: ci
 ci: test race

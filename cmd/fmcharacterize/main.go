@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(filtermap.RenderTable4(reports))
+	fmt.Print(filtermap.Reporter{}.Table4(reports))
 	if *showBlocked {
 		fmt.Println()
 		for _, rep := range reports {

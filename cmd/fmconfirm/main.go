@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -47,28 +48,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(filtermap.RenderTable3(outcomes))
+		fmt.Print(filtermap.Reporter{}.Table3(outcomes))
 		return
 	}
 
-	for _, p := range w.Table3Plans() {
-		if p.Key != *campaign {
-			continue
+	outcome, err := w.RunPlan(ctx, *campaign)
+	if err != nil {
+		if errors.Is(err, filtermap.ErrUnknownPlan) {
+			fmt.Fprintf(os.Stderr, "unknown campaign %q (use -list)\n", *campaign)
+			os.Exit(2)
 		}
-		w.Clock.AdvanceTo(p.StartAt)
-		c, err := p.Build()
-		if err != nil {
-			log.Fatal(err)
-		}
-		outcome, err := confirm.Run(ctx, c)
-		if err != nil {
-			log.Fatal(err)
-		}
-		printOutcome(outcome, *verbose)
-		return
+		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "unknown campaign %q (use -list)\n", *campaign)
-	os.Exit(2)
+	printOutcome(outcome, *verbose)
 }
 
 func printOutcome(o *confirm.Outcome, verbose bool) {

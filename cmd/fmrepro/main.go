@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	fmrepro [-only table1|table2|table3|table4|table5|figure1|denypagetests] [-stats]
+//	fmrepro [-only table1|table2|table3|table4|table5|figure1|denypagetests] [-stats] [-json]
 //
 // Without -only, everything is regenerated in order. With -stats, each
 // step that runs a pipeline prints its per-stage engine timing table to
-// stderr (stdout stays byte-identical for the golden files).
+// stderr (stdout stays byte-identical for the golden files). With -json,
+// artifacts that have a machine-readable form (table1, table2, figure1,
+// table3, table4) print the same JSON documents fmserve serves; the
+// prose-only artifacts are skipped with a note on stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +33,16 @@ import (
 	"filtermap/internal/urllist"
 )
 
-var showStats = flag.Bool("stats", false, "print per-stage engine timing tables to stderr")
+var (
+	showStats = flag.Bool("stats", false, "print per-stage engine timing tables to stderr")
+	jsonOut   = flag.Bool("json", false, "emit machine-readable artifacts as JSON (fmserve's encoding)")
+)
+
+// emitJSON prints a document the way fmserve does: compact JSON plus a
+// trailing newline.
+func emitJSON(doc any) error {
+	return json.NewEncoder(os.Stdout).Encode(doc)
+}
 
 // dumpStats prints a world's per-stage timing table to stderr when -stats
 // is set. Call it before Close, after the pipelines have run.
@@ -76,6 +89,9 @@ func main() {
 }
 
 func table1(context.Context) error {
+	if *jsonOut {
+		return emitJSON(filtermap.Reporter{}.Table1JSON())
+	}
 	fmt.Print(filtermap.Reporter{}.Table1())
 	return nil
 }
@@ -88,6 +104,9 @@ func table2(context.Context) error {
 			parts = append(parts, m.Describe())
 		}
 		sigDescs[sig.Product] = append(sigDescs[sig.Product], strings.Join(parts, " AND "))
+	}
+	if *jsonOut {
+		return emitJSON(report.Table2JSON(fingerprint.ShodanKeywords(), sigDescs))
 	}
 	fmt.Print(report.Table2(fingerprint.ShodanKeywords(), sigDescs))
 	return nil
@@ -105,6 +124,9 @@ func figure1(ctx context.Context) error {
 		return err
 	}
 	var r filtermap.Reporter
+	if *jsonOut {
+		return emitJSON(r.IdentifyJSON(rep))
+	}
 	fmt.Print(r.Figure1(rep))
 	fmt.Println()
 	fmt.Print(r.Installations(rep))
@@ -122,6 +144,9 @@ func table3(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return emitJSON(filtermap.Reporter{}.Table3JSON(outcomes))
+	}
 	fmt.Print(filtermap.Reporter{}.Table3(outcomes))
 	return nil
 }
@@ -138,12 +163,19 @@ func table4(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return emitJSON(filtermap.Reporter{}.Table4JSON(reports))
+	}
 	fmt.Print(filtermap.Reporter{}.Table4(reports))
 	fmt.Println("\n(cells reconstructed from §5 prose; see EXPERIMENTS.md)")
 	return nil
 }
 
 func denyPageTests(ctx context.Context) error {
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, "denypagetests: no JSON form, skipping (-json)")
+		return nil
+	}
 	w, err := filtermap.NewWorld(filtermap.Options{})
 	if err != nil {
 		return err
@@ -166,6 +198,10 @@ func denyPageTests(ctx context.Context) error {
 }
 
 func table5(ctx context.Context) error {
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, "table5: no JSON form, skipping (-json)")
+		return nil
+	}
 	var rows []report.Table5Row
 
 	// Row 1: hidden devices.
@@ -177,7 +213,7 @@ func table5(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	o1, err := runPlanByKey(ctx, w1, "smartfilter-saudi-bayanat")
+	o1, err := w1.RunPlan(ctx, "smartfilter-saudi-bayanat")
 	if err != nil {
 		return err
 	}
@@ -213,7 +249,7 @@ func table5(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	o3, err := runPlanByKey(ctx, w3, "smartfilter-saudi-bayanat")
+	o3, err := w3.RunPlan(ctx, "smartfilter-saudi-bayanat")
 	if err != nil {
 		return err
 	}
@@ -246,19 +282,4 @@ func table5(ctx context.Context) error {
 
 	fmt.Print(report.Table5(rows))
 	return nil
-}
-
-func runPlanByKey(ctx context.Context, w *filtermap.World, key string) (*confirm.Outcome, error) {
-	for _, p := range w.Table3Plans() {
-		if p.Key != key {
-			continue
-		}
-		w.Clock.AdvanceTo(p.StartAt)
-		campaign, err := p.Build()
-		if err != nil {
-			return nil, err
-		}
-		return confirm.Run(ctx, campaign)
-	}
-	return nil, fmt.Errorf("no plan %q", key)
 }

@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	fmscan [-query "netsweeper country:YE"] [-installations] [-workers N] [-stats]
+//	fmscan [-query "netsweeper country:YE"] [-installations] [-json] [-workers N] [-stats]
 //
 // Without -query it runs the full Table 2 keyword fan-out and prints the
 // Figure 1 map; with -query it prints raw banner-index hits for one
-// Shodan-style query. -workers bounds the shared pool every pipeline
-// stage runs on; -stats prints the per-stage timing table to stderr.
+// Shodan-style query. -json emits the identification report as the same
+// JSON document fmserve's POST /v1/identify returns. -workers bounds the
+// shared pool every pipeline stage runs on; -stats prints the per-stage
+// timing table to stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +29,7 @@ import (
 func main() {
 	query := flag.String("query", "", "run a single Shodan-style banner query instead of the full pipeline")
 	showInstalls := flag.Bool("installations", false, "print per-installation detail")
+	jsonOut := flag.Bool("json", false, "emit the identification report as JSON (fmserve's /v1/identify encoding)")
 	saveCensus := flag.String("save-census", "", "write the banner index to a census JSONL file after scanning")
 	loadCensus := flag.String("load-census", "", "load the banner index from a census JSONL file instead of scanning")
 	workers := flag.Int("workers", 0, "worker-pool size for scan/validate/geo stages (0 = default)")
@@ -86,6 +90,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %v\n", qe)
 	}
 	var r filtermap.Reporter
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(r.IdentifyJSON(rep)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Print(r.Figure1(rep))
 	if *showInstalls {
 		fmt.Println()

@@ -65,7 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	fmt.Print(filtermap.RenderFigure1(rep))
+	fmt.Print(filtermap.Reporter{}.Figure1(rep))
 
 	// Show the Table 2 signature set in force.
 	fmt.Println("\nactive signatures:")

@@ -40,6 +40,7 @@ import (
 	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/report"
+	"filtermap/internal/server"
 	"filtermap/internal/world"
 )
 
@@ -99,6 +100,10 @@ func DefaultRetryPolicy() RetryPolicy { return engine.DefaultRetryPolicy() }
 // automatically; use this only to share a registry across worlds).
 func NewStats() *Stats { return engine.NewStats() }
 
+// ErrUnknownPlan reports a campaign key matching no Table 3 plan (see
+// World.RunPlan and World.PlanKeys).
+var ErrUnknownPlan = world.ErrUnknownPlan
+
 // NewWorld builds the default simulated Internet. Trailing options tune
 // the shared execution substrate, e.g.
 //
@@ -109,6 +114,40 @@ func NewStats() *Stats { return engine.NewStats() }
 func NewWorld(opts Options, engOpts ...Option) (*World, error) {
 	return world.Build(opts, engOpts...)
 }
+
+// Server is the fmserve HTTP service: the three pipelines behind a JSON
+// API with result caching, background jobs, and metrics. It implements
+// http.Handler; see cmd/fmserve for the standalone daemon.
+type Server = server.Server
+
+// ServeOptions configures NewServer (world options, cache TTL and size,
+// job workers, rate limits, request-size cap).
+type ServeOptions = server.Options
+
+// NewServer builds the HTTP service and its long-lived world. Trailing
+// options tune the execution substrate exactly as in NewWorld:
+//
+//	srv, err := filtermap.NewServer(filtermap.ServeOptions{}, filtermap.WithWorkers(8))
+//	if err != nil { ... }
+//	defer srv.Shutdown(context.Background())
+//	http.ListenAndServe(":8080", srv)
+func NewServer(opts ServeOptions, engOpts ...Option) (*Server, error) {
+	return server.New(opts, engOpts...)
+}
+
+// Machine-readable document types: the JSON counterparts of the text
+// tables, shared by the fmserve API and the CLIs' -json flags.
+type (
+	// Table1Doc is Table 1 (product inventory) as a document.
+	Table1Doc = report.Table1Doc
+	// Table3Doc is Table 3 (confirmation case studies) as a document.
+	Table3Doc = report.Table3Doc
+	// Table4Doc is Table 4 (blocked-content matrix) as a document.
+	Table4Doc = report.Table4Doc
+	// IdentifyDoc is the §3 report (Figure 1 content plus installations)
+	// as a document.
+	IdentifyDoc = report.IdentifyDoc
+)
 
 // ISP names and AS numbers of the paper's case studies.
 const (
@@ -153,6 +192,24 @@ func (Reporter) Installations(rep *IdentifyReport) string { return report.Instal
 
 // Stats renders a per-stage timing table from an engine snapshot.
 func (Reporter) Stats(snap StatsSnapshot) string { return snap.Render() }
+
+// Table1JSON builds the machine-readable Table 1 document — the same
+// encoding fmserve returns from GET /v1/reports/table1.
+func (Reporter) Table1JSON() Table1Doc { return report.Table1JSON() }
+
+// Table3JSON builds the machine-readable Table 3 document from
+// confirmation outcomes (fmserve's POST /v1/confirm encoding).
+func (Reporter) Table3JSON(outcomes []*Outcome) Table3Doc { return report.Table3JSON(outcomes) }
+
+// Table4JSON builds the machine-readable Table 4 document from
+// characterization reports (fmserve's POST /v1/characterize encoding).
+func (Reporter) Table4JSON(reports []*CharacterizeReport) Table4Doc {
+	return report.Table4JSON(reports)
+}
+
+// IdentifyJSON builds the machine-readable identification document
+// (fmserve's POST /v1/identify encoding).
+func (Reporter) IdentifyJSON(rep *IdentifyReport) IdentifyDoc { return report.IdentifyJSON(rep) }
 
 // RenderTable1 renders the paper's product inventory.
 //

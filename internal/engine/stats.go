@@ -216,29 +216,30 @@ func (st *StageStats) snapshot() StageSnapshot {
 	return snap
 }
 
-// StageSnapshot is one stage's frozen counters.
+// StageSnapshot is one stage's frozen counters. The JSON field names are
+// the fmserve /metrics contract; durations marshal as nanoseconds.
 type StageSnapshot struct {
-	Stage     string
-	Attempts  uint64
-	Successes uint64
-	Retries   uint64
-	Failures  uint64
-	Timeouts  uint64
+	Stage     string `json:"stage"`
+	Attempts  uint64 `json:"attempts"`
+	Successes uint64 `json:"successes"`
+	Retries   uint64 `json:"retries"`
+	Failures  uint64 `json:"failures"`
+	Timeouts  uint64 `json:"timeouts"`
 
 	// Count is the number of latency samples; Min/Mean/Max are exact and
 	// P50/P90/P99 are histogram upper bounds.
-	Count uint64
-	Min   time.Duration
-	Mean  time.Duration
-	Max   time.Duration
-	P50   time.Duration
-	P90   time.Duration
-	P99   time.Duration
+	Count uint64        `json:"count"`
+	Min   time.Duration `json:"min_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
 }
 
 // Snapshot is a frozen view of a Stats registry.
 type Snapshot struct {
-	Stages []StageSnapshot
+	Stages []StageSnapshot `json:"stages"`
 }
 
 // Stage returns the named stage's snapshot (zero value if absent).

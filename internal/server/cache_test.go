@@ -1,0 +1,157 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResultCacheTTLAndEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	c := newResultCache(time.Minute, 2, clk.Now)
+
+	c.put("a", []byte("A"))
+	if v, ok := c.get("a"); !ok || string(v) != "A" {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+
+	// Expiry.
+	clk.Advance(61 * time.Second)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("entry survived its TTL")
+	}
+
+	// Capacity eviction drops the earliest-expiring entry.
+	c.put("a", []byte("A"))
+	clk.Advance(time.Second)
+	c.put("b", []byte("B"))
+	clk.Advance(time.Second)
+	c.put("c", []byte("C"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry not evicted at capacity")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	c := newResultCache(-1, 16, clk.Now)
+	c.put("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache stored %d entries", c.len())
+	}
+}
+
+func TestFlightGroupSharesOneExecution(t *testing.T) {
+	g := newFlightGroup()
+	began := make(chan struct{})
+	release := make(chan struct{})
+	var calls int
+
+	var wg sync.WaitGroup
+	leaderDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		val, err, shared := g.do("k", func() ([]byte, error) {
+			calls++
+			close(began)
+			<-release
+			return []byte("V"), nil
+		})
+		if err != nil || string(val) != "V" || shared {
+			t.Errorf("leader: val=%q err=%v shared=%v", val, err, shared)
+		}
+		close(leaderDone)
+	}()
+
+	<-began
+	const joiners = 8
+	sharedCount := make(chan bool, joiners)
+	var ready sync.WaitGroup
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			val, err, shared := g.do("k", func() ([]byte, error) {
+				t.Error("joiner executed fn")
+				return nil, nil
+			})
+			if err != nil || string(val) != "V" {
+				t.Errorf("joiner: val=%q err=%v", val, err)
+			}
+			sharedCount <- shared
+		}()
+	}
+	// Let every joiner reach its do() call and block on the in-flight
+	// leader before releasing it.
+	ready.Wait()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	close(sharedCount)
+	for shared := range sharedCount {
+		if !shared {
+			t.Fatal("joiner not marked shared")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+
+	// Errors are shared too, and the key is released afterwards.
+	wantErr := errors.New("boom")
+	if _, err, _ := g.do("k", func() ([]byte, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if val, err, _ := g.do("k", func() ([]byte, error) { return []byte("again"), nil }); err != nil || string(val) != "again" {
+		t.Fatalf("key not released after error: %q %v", val, err)
+	}
+}
+
+func TestRateLimiterBucketBehavior(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	l := newRateLimiter(2, 2, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if !l.allow("c1") {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	if l.allow("c1") {
+		t.Fatal("request beyond burst allowed")
+	}
+	// Other clients have their own bucket.
+	if !l.allow("c2") {
+		t.Fatal("independent client denied")
+	}
+	// Half a second refills one token at 2/s.
+	clk.Advance(500 * time.Millisecond)
+	if !l.allow("c1") {
+		t.Fatal("refilled token denied")
+	}
+	if l.allow("c1") {
+		t.Fatal("second token appeared from nowhere")
+	}
+
+	// Disabled limiter admits everything.
+	var nilLimiter *rateLimiter
+	if !nilLimiter.allow("anyone") {
+		t.Fatal("nil limiter denied a request")
+	}
+	if newRateLimiter(0, 4, clk.Now) != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"filtermap/internal/engine"
+)
+
+// metrics aggregates everything GET /metrics reports: per-endpoint
+// request counters and latencies, cache effectiveness, per-kind pipeline
+// run counts, and the engine's per-stage Stats/Observer streams bridged
+// from every world the server builds.
+type metrics struct {
+	mu        sync.Mutex
+	startedAt time.Time
+	endpoints map[string]*endpointStats
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	limited   uint64
+	runs      map[string]uint64
+
+	// engineStats and engineEvents are installed into every world's
+	// engine config, so pipeline stages report here across runs.
+	engineStats  *engine.Stats
+	engineEvents *engine.CountingObserver
+}
+
+type endpointStats struct {
+	requests uint64
+	errors   uint64
+	totalLat time.Duration
+	maxLat   time.Duration
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{
+		startedAt:    now,
+		endpoints:    make(map[string]*endpointStats),
+		runs:         make(map[string]uint64),
+		engineStats:  engine.NewStats(),
+		engineEvents: engine.NewCountingObserver(),
+	}
+}
+
+// record accounts one finished HTTP request against its route pattern.
+func (m *metrics) record(route string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[route]
+	if !ok {
+		es = &endpointStats{}
+		m.endpoints[route] = es
+	}
+	es.requests++
+	if status >= 400 {
+		es.errors++
+	}
+	es.totalLat += elapsed
+	if elapsed > es.maxLat {
+		es.maxLat = elapsed
+	}
+}
+
+func (m *metrics) cacheHit()    { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *metrics) cacheMiss()   { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+func (m *metrics) cacheShared() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *metrics) rateLimited() { m.mu.Lock(); m.limited++; m.mu.Unlock() }
+
+// run accounts one underlying pipeline execution of the given kind.
+func (m *metrics) run(kind string) {
+	m.mu.Lock()
+	m.runs[kind]++
+	m.mu.Unlock()
+}
+
+// MetricsDoc is the GET /metrics response body.
+type MetricsDoc struct {
+	UptimeSeconds float64                       `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointDoc        `json:"endpoints"`
+	Cache         CacheDoc                      `json:"cache"`
+	Jobs          JobCountsDoc                  `json:"jobs"`
+	Runs          map[string]uint64             `json:"runs"`
+	RateLimited   uint64                        `json:"rate_limited"`
+	Engine        engine.Snapshot               `json:"engine"`
+	EngineEvents  map[string]engine.EventCounts `json:"engine_events"`
+}
+
+// EndpointDoc is one route's counters.
+type EndpointDoc struct {
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	MeanLatNs int64  `json:"mean_latency_ns"`
+	MaxLatNs  int64  `json:"max_latency_ns"`
+}
+
+// CacheDoc is the result cache's effectiveness counters. Hits are
+// served straight from the cache; coalesced requests joined an in-flight
+// identical run (singleflight); misses triggered a pipeline execution.
+type CacheDoc struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Entries   int    `json:"entries"`
+}
+
+// JobCountsDoc is the job manager's state census.
+type JobCountsDoc struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+// snapshot freezes every counter into the /metrics document.
+func (m *metrics) snapshot(now time.Time, cacheEntries int, jobs JobCountsDoc) MetricsDoc {
+	m.mu.Lock()
+	doc := MetricsDoc{
+		UptimeSeconds: now.Sub(m.startedAt).Seconds(),
+		Endpoints:     make(map[string]EndpointDoc, len(m.endpoints)),
+		Cache: CacheDoc{
+			Hits:      m.hits,
+			Misses:    m.misses,
+			Coalesced: m.coalesced,
+			Entries:   cacheEntries,
+		},
+		Jobs:        jobs,
+		Runs:        make(map[string]uint64, len(m.runs)),
+		RateLimited: m.limited,
+	}
+	for route, es := range m.endpoints {
+		ed := EndpointDoc{Requests: es.requests, Errors: es.errors, MaxLatNs: int64(es.maxLat)}
+		if es.requests > 0 {
+			ed.MeanLatNs = int64(es.totalLat) / int64(es.requests)
+		}
+		doc.Endpoints[route] = ed
+	}
+	for kind, n := range m.runs {
+		doc.Runs[kind] = n
+	}
+	m.mu.Unlock()
+
+	doc.Engine = m.engineStats.Snapshot()
+	doc.EngineEvents = m.engineEvents.Counts()
+	sort.Slice(doc.Engine.Stages, func(i, j int) bool { return doc.Engine.Stages[i].Stage < doc.Engine.Stages[j].Stage })
+	return doc
+}

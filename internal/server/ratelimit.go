@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key (API key or
+// remote host) accrues rate tokens per second up to burst, and every
+// request spends one. A nil limiter or rate <= 0 admits everything.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 8
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow reports whether the client may proceed, spending a token if so.
+func (l *rateLimiter) allow(client string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxTrackedClients {
+			l.pruneLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// maxTrackedClients bounds the bucket map; beyond it, full (idle)
+// buckets are dropped — they rebuild at full burst on next sight, which
+// only ever errs in the client's favour.
+const maxTrackedClients = 4096
+
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		refilled := b.tokens + now.Sub(b.last).Seconds()*l.rate
+		if refilled >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,829 @@
+// Package server is the fmserve service layer: an HTTP JSON API that
+// exposes the identify/confirm/characterize pipelines over a long-lived
+// World, with a TTL result cache and singleflight deduplication on the
+// hot path, a background job manager for long-running scans and Table 3
+// campaigns, per-client token-bucket rate limiting, request-size limits,
+// and a metrics endpoint bridging the engine's Stats/Observer streams.
+//
+// Endpoints:
+//
+//	POST /v1/identify      §3 pipeline   (sync when cached; ?wait=1 blocks; else enqueues)
+//	POST /v1/confirm       §4 campaigns  (same dispatch)
+//	POST /v1/characterize  §5 runs       (same dispatch)
+//	POST /v1/jobs          submit a background job {kind, request}
+//	GET  /v1/jobs          list jobs
+//	GET  /v1/jobs/{id}     job state + result
+//	DELETE /v1/jobs/{id}   cancel
+//	GET  /v1/reports/{kind}  table1|table3|table4|figure1|installations (sync)
+//	GET  /healthz          liveness
+//	GET  /metrics          request/cache/job/engine counters
+//
+// Worlds: identification runs against the server's long-lived base world
+// with a banner index scanned once and reused; confirmation and
+// characterization build a fresh world per execution because campaigns
+// consume the virtual timeline (clock advancement, vendor submissions).
+// Requests carrying evasion options always get a fresh world.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"filtermap/internal/confirm"
+	"filtermap/internal/engine"
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/report"
+	"filtermap/internal/scanner"
+	"filtermap/internal/world"
+)
+
+// Pipeline kinds accepted by the job and dispatch endpoints.
+const (
+	KindIdentify     = "identify"
+	KindConfirm      = "confirm"
+	KindCharacterize = "characterize"
+)
+
+// Options configures a Server. The zero value serves the default world
+// with a 5-minute cache, two job workers, no rate limit, and a 1 MiB
+// request-size cap.
+type Options struct {
+	// World configures the base simulated Internet the server holds for
+	// its lifetime.
+	World world.Options
+	// CacheTTL bounds result-cache entry lifetime (0 = 5m; < 0 disables
+	// caching while keeping singleflight deduplication).
+	CacheTTL time.Duration
+	// CacheEntries bounds the cache size (0 = 256).
+	CacheEntries int
+	// JobWorkers sizes the background job pool (0 = 2).
+	JobWorkers int
+	// RatePerSec enables per-client token-bucket rate limiting when > 0.
+	RatePerSec float64
+	// RateBurst is the bucket depth (0 = 8; only meaningful with
+	// RatePerSec).
+	RateBurst int
+	// MaxRequestBytes caps request bodies (0 = 1 MiB).
+	MaxRequestBytes int64
+
+	// now substitutes the clock in tests (nil = time.Now).
+	now func() time.Time
+}
+
+// Server is the HTTP service. It implements http.Handler.
+type Server struct {
+	opts    Options
+	engOpts []engine.Option
+	handler http.Handler
+
+	metrics *metrics
+	cache   *resultCache
+	flight  *flightGroup
+	jobs    *jobManager
+	limiter *rateLimiter
+
+	base    *world.World
+	baseMu  sync.Mutex // guards the lazy base-world banner scan
+	baseIdx *scanner.Index
+
+	// execHook intercepts pipeline executions in tests (nil in
+	// production).
+	execHook func(ctx context.Context, kind string) error
+
+	closeOnce sync.Once
+}
+
+// New builds the server and its long-lived base world. Engine options
+// (filtermap.WithWorkers, ...) tune every world the server constructs;
+// the server always adds its own stats registry and counting observer so
+// /metrics sees every pipeline stage.
+func New(opts Options, engOpts ...engine.Option) (*Server, error) {
+	if opts.CacheTTL == 0 {
+		opts.CacheTTL = 5 * time.Minute
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 256
+	}
+	if opts.MaxRequestBytes == 0 {
+		opts.MaxRequestBytes = 1 << 20
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+
+	s := &Server{
+		opts:    opts,
+		metrics: newMetrics(opts.now()),
+		flight:  newFlightGroup(),
+	}
+	s.cache = newResultCache(opts.CacheTTL, opts.CacheEntries, opts.now)
+	s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst, opts.now)
+
+	// Bridge every world's engine into the metrics registry, preserving
+	// any caller-supplied observer.
+	callerCfg := engine.NewConfig(engOpts...)
+	s.engOpts = append(append([]engine.Option{}, engOpts...),
+		engine.WithStats(s.metrics.engineStats),
+		engine.WithObserver(engine.MultiObserver(callerCfg.Observer, s.metrics.engineEvents)),
+	)
+
+	base, err := world.Build(opts.World, s.engOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("server: build base world: %w", err)
+	}
+	s.base = base
+
+	s.jobs = newJobManager(opts.JobWorkers, opts.now, func(ctx context.Context, j *job) ([]byte, error) {
+		return s.cachedRun(ctx, j.kind, j.key, j.req)
+	})
+
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/identify", s.handleIdentify)
+	handle("POST /v1/confirm", s.handleConfirm)
+	handle("POST /v1/characterize", s.handleCharacterize)
+	handle("POST /v1/jobs", s.handleJobSubmit)
+	handle("GET /v1/jobs", s.handleJobList)
+	handle("GET /v1/jobs/{id}", s.handleJobGet)
+	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	handle("GET /v1/reports/{kind}", s.handleReport)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	s.handler = s.root(mux)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Shutdown drains gracefully: job intake stops, workers finish the queue
+// and every in-flight job (hard-canceling only if ctx expires), then the
+// base world closes. The HTTP listener is the caller's to stop first
+// (http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.jobs.shutdown(ctx)
+	s.closeOnce.Do(func() { s.base.Close() })
+	return err
+}
+
+// root is the outermost middleware: rate limiting (healthz exempt) and
+// the request-size cap.
+func (s *Server) root(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" && !s.limiter.allow(clientKey(r)) {
+			s.metrics.rateLimited()
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		if r.Body != nil && s.opts.MaxRequestBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the requester for rate limiting: the API key
+// header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// instrument records per-endpoint request counts and latencies.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.opts.now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.metrics.record(route, sw.status, s.opts.now().Sub(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// ---- request types ----
+
+// WorldConfig selects the Table 5 evasion scenarios and ablations for a
+// run. The zero value means "the server's base world"; any flag set
+// builds a dedicated world for the run.
+type WorldConfig struct {
+	HideConsoles      bool `json:"hide_consoles,omitempty"`
+	ScrubHeaders      bool `json:"scrub_headers,omitempty"`
+	FilterSubmissions bool `json:"filter_submissions,omitempty"`
+	DisableDuSyncLag  bool `json:"disable_du_sync_lag,omitempty"`
+}
+
+func (c WorldConfig) zero() bool { return c == WorldConfig{} }
+
+// options overlays the request's evasion flags on the server's base
+// world options (keeping seed and start time).
+func (c WorldConfig) options(base world.Options) world.Options {
+	base.HideConsoles = c.HideConsoles
+	base.ScrubHeaders = c.ScrubHeaders
+	base.FilterSubmissions = c.FilterSubmissions
+	base.DisableDuSyncLag = c.DisableDuSyncLag
+	return base
+}
+
+// IdentifyRequest parameterizes POST /v1/identify.
+type IdentifyRequest struct {
+	// Products restricts the keyword fan-out (empty = all Table 2
+	// products).
+	Products []string `json:"products,omitempty"`
+	// Countries bounds the ccTLD fan-out (empty = every country in the
+	// banner index).
+	Countries []string `json:"countries,omitempty"`
+	// World selects evasion scenarios; non-zero runs on a fresh world.
+	World WorldConfig `json:"world,omitempty"`
+}
+
+func (r *IdentifyRequest) normalize() error {
+	r.Products = sortDedupe(r.Products)
+	r.Countries = sortDedupe(r.Countries)
+	known := fingerprint.ShodanKeywords()
+	for _, p := range r.Products {
+		if _, ok := known[p]; !ok {
+			return badRequestf("unknown product %q", p)
+		}
+	}
+	return nil
+}
+
+// ConfirmRequest parameterizes POST /v1/confirm.
+type ConfirmRequest struct {
+	// Campaign selects one Table 3 case study by key (empty = all ten,
+	// chronologically).
+	Campaign string `json:"campaign,omitempty"`
+	// World selects evasion scenarios for the campaign world.
+	World WorldConfig `json:"world,omitempty"`
+}
+
+func (r *ConfirmRequest) normalize() error {
+	r.Campaign = strings.TrimSpace(r.Campaign)
+	return nil
+}
+
+// CharacterizeRequest parameterizes POST /v1/characterize.
+type CharacterizeRequest struct {
+	// ISPs restricts the §5 targets (empty = all confirmed deployments).
+	ISPs []string `json:"isps,omitempty"`
+	// World selects evasion scenarios for the run's world.
+	World WorldConfig `json:"world,omitempty"`
+}
+
+func (r *CharacterizeRequest) normalize() error {
+	r.ISPs = sortDedupe(r.ISPs)
+	known := make(map[string]bool)
+	for _, t := range world.CharacterizationTargets() {
+		known[t.ISP] = true
+	}
+	for _, isp := range r.ISPs {
+		if !known[isp] {
+			return badRequestf("unknown characterization ISP %q", isp)
+		}
+	}
+	return nil
+}
+
+func sortDedupe(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		s = strings.TrimSpace(s)
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// canonicalKey derives the cache/singleflight key from a normalized
+// request: kind plus its deterministic JSON encoding.
+func canonicalKey(kind string, req any) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// Request types marshal by construction; a failure here is a
+		// programming error, and an unshareable key is the safe fallback.
+		return kind + ":unmarshalable"
+	}
+	return kind + ":" + string(b)
+}
+
+// ---- dispatch: cache -> singleflight -> pipeline ----
+
+// cachedRun executes kind once per canonical key: concurrent identical
+// requests share one pipeline run via singleflight, and completed
+// results live in the TTL cache.
+func (s *Server) cachedRun(ctx context.Context, kind, key string, req any) ([]byte, error) {
+	val, err, shared := s.flight.do(key, func() ([]byte, error) {
+		if val, ok := s.cache.get(key); ok {
+			s.metrics.cacheHit()
+			return val, nil
+		}
+		s.metrics.cacheMiss()
+		val, err := s.execute(ctx, kind, req)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, val)
+		return val, nil
+	})
+	if shared {
+		s.metrics.cacheShared()
+	}
+	return val, err
+}
+
+// execute runs one pipeline and marshals its document.
+func (s *Server) execute(ctx context.Context, kind string, req any) ([]byte, error) {
+	if s.execHook != nil {
+		if err := s.execHook(ctx, kind); err != nil {
+			return nil, err
+		}
+	}
+	s.metrics.run(kind)
+	var doc any
+	var err error
+	switch kind {
+	case KindIdentify:
+		doc, err = s.runIdentify(ctx, req.(*IdentifyRequest))
+	case KindConfirm:
+		doc, err = s.runConfirm(ctx, req.(*ConfirmRequest))
+	case KindCharacterize:
+		doc, err = s.runCharacterize(ctx, req.(*CharacterizeRequest))
+	default:
+		err = badRequestf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(doc)
+}
+
+// runIdentify executes the §3 pipeline. Default-world requests reuse the
+// base world and its once-scanned banner index — the cached hot path;
+// evasion-configured requests scan a dedicated world.
+func (s *Server) runIdentify(ctx context.Context, req *IdentifyRequest) (report.IdentifyDoc, error) {
+	w := s.base
+	var index *scanner.Index
+	if req.World.zero() {
+		var err error
+		if index, err = s.sharedIndex(ctx); err != nil {
+			return report.IdentifyDoc{}, err
+		}
+	} else {
+		fresh, err := world.Build(req.World.options(s.opts.World), s.engOpts...)
+		if err != nil {
+			return report.IdentifyDoc{}, err
+		}
+		defer fresh.Close()
+		w = fresh
+	}
+	p, err := w.IdentifyPipeline(ctx, index)
+	if err != nil {
+		return report.IdentifyDoc{}, err
+	}
+	if len(req.Products) > 0 {
+		all := fingerprint.ShodanKeywords()
+		kw := make(map[string][]string, len(req.Products))
+		for _, prod := range req.Products {
+			kw[prod] = all[prod]
+		}
+		p.Keywords = kw
+	}
+	if len(req.Countries) > 0 {
+		p.Countries = req.Countries
+	}
+	rep, err := p.Run(ctx)
+	if err != nil {
+		return report.IdentifyDoc{}, err
+	}
+	return report.IdentifyJSON(rep), nil
+}
+
+// sharedIndex scans the base world's address space once and reuses the
+// banner index for every subsequent default-world identification.
+func (s *Server) sharedIndex(ctx context.Context) (*scanner.Index, error) {
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
+	if s.baseIdx == nil {
+		idx, err := s.base.Scanner().ScanNetwork(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("server: base scan: %w", err)
+		}
+		s.baseIdx = idx
+	}
+	return s.baseIdx, nil
+}
+
+// runConfirm executes §4 campaigns, always on a fresh world: a campaign
+// advances the virtual clock and feeds vendor submission queues, so the
+// timeline is single-use.
+func (s *Server) runConfirm(ctx context.Context, req *ConfirmRequest) (report.Table3Doc, error) {
+	w, err := world.Build(req.World.options(s.opts.World), s.engOpts...)
+	if err != nil {
+		return report.Table3Doc{}, err
+	}
+	defer w.Close()
+	if req.Campaign == "" {
+		outcomes, err := w.RunTable3(ctx)
+		if err != nil {
+			return report.Table3Doc{}, err
+		}
+		return report.Table3JSON(outcomes), nil
+	}
+	outcome, err := w.RunPlan(ctx, req.Campaign)
+	if err != nil {
+		if errors.Is(err, world.ErrUnknownPlan) {
+			return report.Table3Doc{}, badRequestf("unknown campaign %q", req.Campaign)
+		}
+		return report.Table3Doc{}, err
+	}
+	return report.Table3JSON([]*confirm.Outcome{outcome}), nil
+}
+
+// runCharacterize executes §5 on a fresh world positioned the same way
+// fmcharacterize positions it (clock at +8h, Yemen license window
+// active), so results match the CLI and stay deterministic per request.
+func (s *Server) runCharacterize(ctx context.Context, req *CharacterizeRequest) (report.Table4Doc, error) {
+	w, err := world.Build(req.World.options(s.opts.World), s.engOpts...)
+	if err != nil {
+		return report.Table4Doc{}, err
+	}
+	defer w.Close()
+	w.Clock.Advance(8 * time.Hour)
+	reports, err := w.RunCharacterizationFor(ctx, req.ISPs)
+	if err != nil {
+		return report.Table4Doc{}, err
+	}
+	return report.Table4JSON(reports), nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	var req IdentifyRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.dispatch(w, r, KindIdentify, &req)
+}
+
+func (s *Server) handleConfirm(w http.ResponseWriter, r *http.Request) {
+	var req ConfirmRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.validateCampaign(req.Campaign); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.dispatch(w, r, KindConfirm, &req)
+}
+
+// validateCampaign rejects unknown campaign keys against the base
+// world's plan list, before any fresh world is built for the run.
+func (s *Server) validateCampaign(key string) error {
+	if key == "" {
+		return nil
+	}
+	for _, k := range s.base.PlanKeys() {
+		if k == key {
+			return nil
+		}
+	}
+	return badRequestf("unknown campaign %q", key)
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var req CharacterizeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.dispatch(w, r, KindCharacterize, &req)
+}
+
+// dispatch implements the pipeline endpoints' contract: synchronous when
+// the result is cached, otherwise enqueued as a background job (202 +
+// Location) — unless ?wait=1, which blocks through the singleflight for
+// the result.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, req any) {
+	key := canonicalKey(kind, req)
+	if val, ok := s.cache.get(key); ok {
+		s.metrics.cacheHit()
+		writeRawJSON(w, http.StatusOK, val)
+		return
+	}
+	if wantsWait(r) {
+		val, err := s.cachedRun(r.Context(), kind, key, req)
+		if err != nil {
+			jsonError(w, errorStatus(err), err.Error())
+			return
+		}
+		writeRawJSON(w, http.StatusOK, val)
+		return
+	}
+	j, existing, err := s.jobs.submit(kind, key, req)
+	if err != nil {
+		jsonError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	status := http.StatusAccepted
+	if existing {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.jobs.doc(j, false))
+}
+
+func wantsWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// jobSubmitRequest is the POST /v1/jobs body.
+type jobSubmitRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var body jobSubmitRequest
+	if !s.decodeBody(w, r, &body) {
+		return
+	}
+	req, err := s.parseKindRequest(body.Kind, body.Request)
+	if err != nil {
+		jsonError(w, errorStatus(err), err.Error())
+		return
+	}
+	key := canonicalKey(body.Kind, req)
+	j, existing, err := s.jobs.submit(body.Kind, key, req)
+	if err != nil {
+		jsonError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	status := http.StatusCreated
+	if existing {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.jobs.doc(j, false))
+}
+
+// parseKindRequest decodes and normalizes a kind-specific request body.
+func (s *Server) parseKindRequest(kind string, raw json.RawMessage) (any, error) {
+	unmarshal := func(v interface{ normalize() error }) (any, error) {
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, v); err != nil {
+				return nil, badRequestf("bad %s request: %v", kind, err)
+			}
+		}
+		if err := v.normalize(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	switch kind {
+	case KindIdentify:
+		return unmarshal(&IdentifyRequest{})
+	case KindConfirm:
+		req, err := unmarshal(&ConfirmRequest{})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.validateCampaign(req.(*ConfirmRequest).Campaign); err != nil {
+			return nil, err
+		}
+		return req, nil
+	case KindCharacterize:
+		return unmarshal(&CharacterizeRequest{})
+	default:
+		return nil, badRequestf("unknown job kind %q", kind)
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	docs := make([]JobDoc, 0, len(jobs))
+	for _, j := range jobs {
+		docs = append(docs, s.jobs.doc(j, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.doc(j, true))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !s.jobs.cancelJob(j) {
+		jsonError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.doc(j, false))
+}
+
+// handleReport serves synchronous JSON renderings of the paper
+// artifacts, through the same cache/singleflight as the pipeline
+// endpoints.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	switch kind {
+	case "table1":
+		writeJSON(w, http.StatusOK, report.Table1JSON())
+	case "table3":
+		s.serveCached(w, r, KindConfirm, &ConfirmRequest{}, nil)
+	case "table4":
+		s.serveCached(w, r, KindCharacterize, &CharacterizeRequest{}, nil)
+	case "figure1":
+		s.serveCached(w, r, KindIdentify, &IdentifyRequest{}, nil)
+	case "installations":
+		s.serveCached(w, r, KindIdentify, &IdentifyRequest{}, func(val []byte) (any, error) {
+			var doc report.IdentifyDoc
+			if err := json.Unmarshal(val, &doc); err != nil {
+				return nil, err
+			}
+			return map[string]any{"installations": doc.Installations}, nil
+		})
+	default:
+		jsonError(w, http.StatusNotFound, fmt.Sprintf("unknown report %q", kind))
+	}
+}
+
+// serveCached runs a default-parameter pipeline through the cache and
+// optionally reshapes the cached document before responding.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, kind string, req any, reshape func([]byte) (any, error)) {
+	key := canonicalKey(kind, req)
+	if val, ok := s.cache.get(key); ok {
+		s.metrics.cacheHit()
+		s.respondMaybeReshaped(w, val, reshape)
+		return
+	}
+	val, err := s.cachedRun(r.Context(), kind, key, req)
+	if err != nil {
+		jsonError(w, errorStatus(err), err.Error())
+		return
+	}
+	s.respondMaybeReshaped(w, val, reshape)
+}
+
+func (s *Server) respondMaybeReshaped(w http.ResponseWriter, val []byte, reshape func([]byte) (any, error)) {
+	if reshape == nil {
+		writeRawJSON(w, http.StatusOK, val)
+		return
+	}
+	doc, err := reshape(val)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.opts.now().Sub(s.metrics.startedAt).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	doc := s.metrics.snapshot(s.opts.now(), s.cache.len(), s.jobs.counts())
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// ---- plumbing ----
+
+// decodeBody reads and unmarshals a JSON request body into v. An empty
+// body leaves v at its zero value. On failure it writes the error
+// response and returns false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	if len(body) == 0 {
+		return true
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// statusError carries an HTTP status through the runner layers.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &statusError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorStatus maps a runner error to its HTTP status.
+func errorStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeRawJSON(w, status, b)
+}
+
+func writeRawJSON(w http.ResponseWriter, status int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b) //nolint:errcheck // best-effort response body
+	if len(b) == 0 || b[len(b)-1] != '\n' {
+		io.WriteString(w, "\n") //nolint:errcheck
+	}
+}
+
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -2,6 +2,7 @@ package world
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -350,6 +351,41 @@ func (w *World) RunTable3(ctx context.Context) ([]*confirm.Outcome, error) {
 		out[i] = r.outcome
 	}
 	return out, nil
+}
+
+// ErrUnknownPlan reports a campaign key that matches no Table 3 plan.
+var ErrUnknownPlan = errors.New("world: unknown plan")
+
+// RunPlan executes a single Table 3 case study by key on this world's
+// clock. Like RunTable3, it consumes the timeline: the clock advances to
+// the plan's start and the campaign's submissions mutate vendor state, so
+// run each plan at most once per world, in StartAt order.
+func (w *World) RunPlan(ctx context.Context, key string) (*confirm.Outcome, error) {
+	for _, p := range w.Table3Plans() {
+		if p.Key != key {
+			continue
+		}
+		if w.Clock.Now().After(p.StartAt) {
+			return nil, fmt.Errorf("world: clock %v already past plan %s start %v", w.Clock.Now(), p.Key, p.StartAt)
+		}
+		w.Clock.AdvanceTo(p.StartAt)
+		campaign, err := p.Build()
+		if err != nil {
+			return nil, fmt.Errorf("world: build %s: %w", p.Key, err)
+		}
+		return confirm.Run(ctx, campaign)
+	}
+	return nil, fmt.Errorf("%w %q", ErrUnknownPlan, key)
+}
+
+// PlanKeys lists the Table 3 campaign keys in StartAt order.
+func (w *World) PlanKeys() []string {
+	plans := w.Table3Plans()
+	keys := make([]string, len(plans))
+	for i, p := range plans {
+		keys[i] = p.Key
+	}
+	return keys
 }
 
 // installSubmissionFilters arms Table 5 row 3: every vendor silently
