@@ -16,6 +16,13 @@ race:
 golden:
 	go test -run TestGolden -count=1 .
 
+# The longitudinal end-to-end check: identify at two virtual times with
+# injected churn, persist through the snapshot store, and pin the fmhist
+# diff rendering (and fmserve's GET /v1/diff agreement) to its golden.
+.PHONY: hist-golden
+hist-golden:
+	go test -run TestGoldenHistDiff -count=1 .
+
 # The evaluation benchmarks, including the serial-vs-parallel
 # identification scaling run.
 .PHONY: bench

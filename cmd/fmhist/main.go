@@ -1,0 +1,306 @@
+// Command fmhist is the longitudinal CLI: it records pipeline snapshots
+// into an append-only store and answers "what changed?" across them.
+//
+// Usage:
+//
+//	fmhist -dir DIR record [-kind identify|table4] [-note TEXT]
+//	                       (-in report.json | -run) [-advance 168h]
+//	                       [-seed N] [-workers N] [-hide-consoles] [-scrub-headers]
+//	fmhist -dir DIR list [-kind K] [-json]
+//	fmhist -dir DIR show SELECTOR [-json]
+//	fmhist -dir DIR diff FROM TO [-json]
+//	fmhist -dir DIR timeline [-json]
+//	fmhist -dir DIR compact
+//
+// record either ingests a JSON document produced by fmscan/fmrepro -json
+// (-in) or builds the simulated world and runs the pipeline itself
+// (-run), optionally advancing the virtual clock first (-advance) so
+// successive records carry distinct virtual timestamps. Snapshots are
+// content-addressed: re-recording an unchanged world is a no-op dedupe.
+//
+// Selectors accept a sequence number, a content-ID prefix, "latest", or
+// "latest:<kind>".
+//
+// Walkthrough — track a week of churn:
+//
+//	fmhist -dir hist record -run                      # day 0 baseline
+//	fmhist -dir hist record -run -advance 168h        # day 7 re-scan
+//	fmhist -dir hist diff 1 latest                    # what changed?
+//	fmhist -dir hist timeline                         # Figure 1 over time
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"filtermap"
+	"filtermap/internal/longitudinal"
+	"filtermap/internal/simclock"
+	"filtermap/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fmhist: ")
+	dir := flag.String("dir", "", "snapshot store directory (required)")
+	flag.Usage = usage
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	s, err := store.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	if n := s.RecoveredBytes(); n > 0 {
+		fmt.Fprintf(os.Stderr, "fmhist: recovered store: truncated %d corrupt tail bytes\n", n)
+	}
+
+	switch cmd {
+	case "record":
+		err = record(s, args)
+	case "list":
+		err = list(s, args)
+	case "show":
+		err = show(s, args)
+	case "diff":
+		err = diff(s, args)
+	case "timeline":
+		err = timeline(s, args)
+	case "compact":
+		err = s.Compact()
+	default:
+		log.Printf("unknown subcommand %q", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: fmhist -dir DIR <subcommand> [flags]
+
+subcommands:
+  record    persist a pipeline snapshot (-run to execute, -in FILE to ingest)
+  list      list stored snapshots
+  show      print one snapshot (selector: seq, id prefix, latest, latest:<kind>)
+  diff      compare two snapshots (fmhist diff FROM TO)
+  timeline  per-country installation counts across identify snapshots
+  compact   rewrite the log, deduplicating repeated content
+`)
+}
+
+// record persists one snapshot, from a file or a fresh pipeline run.
+func record(s *store.Store, args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	kind := fs.String("kind", longitudinal.KindIdentify, "snapshot kind: identify or table4")
+	note := fs.String("note", "", "free-form annotation")
+	in := fs.String("in", "", "ingest a JSON document (fmscan/fmrepro -json output)")
+	run := fs.Bool("run", false, "build the world and run the pipeline")
+	advance := fs.Duration("advance", 0, "advance the virtual clock before running (with -run)")
+	seed := fs.Int64("seed", 0, "world seed (with -run)")
+	workers := fs.Int("workers", 0, "engine worker-pool size (with -run; 0 = default)")
+	hideConsoles := fs.Bool("hide-consoles", false, "evasion: hide product consoles (with -run)")
+	scrubHeaders := fs.Bool("scrub-headers", false, "evasion: scrub brand headers (with -run)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *kind != longitudinal.KindIdentify && *kind != longitudinal.KindTable4 {
+		return fmt.Errorf("unsupported kind %q (identify or table4)", *kind)
+	}
+	if (*in == "") == !*run {
+		return fmt.Errorf("record needs exactly one of -in or -run")
+	}
+
+	var body []byte
+	var at time.Time
+	var config string
+	if *in != "" {
+		var err error
+		body, err = os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		at = simclock.Epoch
+		config = filtermap.ConfigHash(filtermap.Options{})
+	} else {
+		opts := filtermap.Options{
+			Seed:         *seed,
+			HideConsoles: *hideConsoles,
+			ScrubHeaders: *scrubHeaders,
+		}
+		var engOpts []filtermap.Option
+		if *workers > 0 {
+			engOpts = append(engOpts, filtermap.WithWorkers(*workers))
+		}
+		w, err := filtermap.NewWorld(opts, engOpts...)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		w.Clock.Advance(*advance)
+		ctx := context.Background()
+		var doc any
+		switch *kind {
+		case longitudinal.KindIdentify:
+			rep, err := w.RunIdentification(ctx)
+			if err != nil {
+				return err
+			}
+			doc = filtermap.Reporter{}.IdentifyJSON(rep)
+		case longitudinal.KindTable4:
+			w.Clock.Advance(8 * time.Hour)
+			reports, err := w.RunCharacterization(ctx)
+			if err != nil {
+				return err
+			}
+			doc = filtermap.Reporter{}.Table4JSON(reports)
+		}
+		if body, err = json.Marshal(doc); err != nil {
+			return err
+		}
+		at = w.Clock.Now()
+		config = filtermap.ConfigHash(opts)
+	}
+
+	meta, err := s.Append(store.Snapshot{
+		Kind:   *kind,
+		At:     at,
+		Config: config,
+		Note:   *note,
+		Body:   body,
+	})
+	if err != nil {
+		return err
+	}
+	if meta.Deduped {
+		fmt.Printf("unchanged: deduped onto seq %d (id %s)\n", meta.Seq, meta.ID)
+		return nil
+	}
+	fmt.Printf("recorded seq %d  id %s  kind %s  at %s  (%d bytes)\n",
+		meta.Seq, meta.ID, meta.Kind, meta.At.UTC().Format(time.RFC3339), meta.Bytes)
+	return nil
+}
+
+func list(s *store.Store, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	kind := fs.String("kind", "", "restrict to one snapshot kind")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	fs.Parse(args) //nolint:errcheck
+	metas := s.List(store.Query{Kind: *kind})
+	if *asJSON {
+		if metas == nil {
+			metas = []store.Meta{}
+		}
+		return json.NewEncoder(os.Stdout).Encode(map[string]any{"snapshots": metas})
+	}
+	if len(metas) == 0 {
+		fmt.Println("no snapshots")
+		return nil
+	}
+	fmt.Printf("%-5s %-18s %-9s %-20s %-9s %s\n", "SEQ", "ID", "KIND", "AT", "BYTES", "NOTE")
+	for _, m := range metas {
+		fmt.Printf("%-5d %-18s %-9s %-20s %-9d %s\n",
+			m.Seq, m.ID, m.Kind, m.At.UTC().Format(time.RFC3339), m.Bytes, m.Note)
+	}
+	return nil
+}
+
+func show(s *store.Store, args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit {meta, body} JSON (default prints the body)")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show needs one selector")
+	}
+	meta, body, err := s.Get(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(map[string]any{"meta": meta, "body": json.RawMessage(body)})
+	}
+	fmt.Printf("seq %d  id %s  kind %s  at %s  config %s\n",
+		meta.Seq, meta.ID, meta.Kind, meta.At.UTC().Format(time.RFC3339), meta.Config)
+	if meta.Note != "" {
+		fmt.Printf("note: %s\n", meta.Note)
+	}
+	os.Stdout.Write(body) //nolint:errcheck
+	fmt.Println()
+	return nil
+}
+
+func diff(s *store.Store, args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the diff document as JSON")
+	workers := fs.Int("workers", 0, "diff worker-pool size (0 = default)")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs FROM and TO selectors")
+	}
+	from, to, err := loadPair(s, fs.Arg(0), fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	var engOpts []filtermap.Option
+	if *workers > 0 {
+		engOpts = append(engOpts, filtermap.WithWorkers(*workers))
+	}
+	d, err := filtermap.NewDiffEngine(engOpts...).Diff(context.Background(), from, to)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(d)
+	}
+	fmt.Print(filtermap.Reporter{}.DiffText(d))
+	return nil
+}
+
+func loadPair(s *store.Store, fromSel, toSel string) (from, to longitudinal.Input, err error) {
+	fromMeta, fromBody, err := s.Get(fromSel)
+	if err != nil {
+		return from, to, fmt.Errorf("from: %w", err)
+	}
+	toMeta, toBody, err := s.Get(toSel)
+	if err != nil {
+		return from, to, fmt.Errorf("to: %w", err)
+	}
+	return longitudinal.Input{Meta: fromMeta, Body: fromBody},
+		longitudinal.Input{Meta: toMeta, Body: toBody}, nil
+}
+
+func timeline(s *store.Store, args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the timeline document as JSON")
+	fs.Parse(args) //nolint:errcheck
+	metas := s.List(store.Query{Kind: longitudinal.KindIdentify})
+	if len(metas) == 0 {
+		return fmt.Errorf("no %q snapshots in store", longitudinal.KindIdentify)
+	}
+	inputs := make([]longitudinal.Input, 0, len(metas))
+	for _, m := range metas {
+		_, body, err := s.Get(fmt.Sprint(m.Seq))
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, longitudinal.Input{Meta: m, Body: body})
+	}
+	tl, err := filtermap.NewDiffEngine().Timeline(context.Background(), inputs)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(tl)
+	}
+	fmt.Print(filtermap.Reporter{}.Timeline(tl))
+	return nil
+}

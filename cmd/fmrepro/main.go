@@ -54,6 +54,17 @@ func dumpStats(step string, w *filtermap.World) {
 	fmt.Fprint(os.Stderr, filtermap.Reporter{}.Stats(w.Stats().Snapshot()))
 }
 
+// jsonStats returns the world's engine snapshot for embedding in a -json
+// document's optional "stats" field when -stats is also set (nil — and
+// therefore omitted — otherwise).
+func jsonStats(w *filtermap.World) *filtermap.StatsSnapshot {
+	if !*showStats {
+		return nil
+	}
+	snap := w.Stats().Snapshot()
+	return &snap
+}
+
 func main() {
 	only := flag.String("only", "", "regenerate a single artifact: table1..table5, figure1, denypagetests")
 	flag.Parse()
@@ -125,7 +136,9 @@ func figure1(ctx context.Context) error {
 	}
 	var r filtermap.Reporter
 	if *jsonOut {
-		return emitJSON(r.IdentifyJSON(rep))
+		doc := r.IdentifyJSON(rep)
+		doc.Stats = jsonStats(w)
+		return emitJSON(doc)
 	}
 	fmt.Print(r.Figure1(rep))
 	fmt.Println()
@@ -145,7 +158,9 @@ func table3(ctx context.Context) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(filtermap.Reporter{}.Table3JSON(outcomes))
+		doc := filtermap.Reporter{}.Table3JSON(outcomes)
+		doc.Stats = jsonStats(w)
+		return emitJSON(doc)
 	}
 	fmt.Print(filtermap.Reporter{}.Table3(outcomes))
 	return nil
@@ -164,7 +179,9 @@ func table4(ctx context.Context) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(filtermap.Reporter{}.Table4JSON(reports))
+		doc := filtermap.Reporter{}.Table4JSON(reports)
+		doc.Stats = jsonStats(w)
+		return emitJSON(doc)
 	}
 	fmt.Print(filtermap.Reporter{}.Table4(reports))
 	fmt.Println("\n(cells reconstructed from §5 prose; see EXPERIMENTS.md)")

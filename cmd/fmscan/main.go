@@ -91,7 +91,12 @@ func main() {
 	}
 	var r filtermap.Reporter
 	if *jsonOut {
-		if err := json.NewEncoder(os.Stdout).Encode(r.IdentifyJSON(rep)); err != nil {
+		doc := r.IdentifyJSON(rep)
+		if *showStats {
+			snap := w.Stats().Snapshot()
+			doc.Stats = &snap
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(doc); err != nil {
 			log.Fatal(err)
 		}
 		return

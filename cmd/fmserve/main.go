@@ -8,7 +8,12 @@
 //
 //	fmserve [-addr :8080] [-workers N] [-job-workers N]
 //	        [-cache-ttl 5m] [-cache-entries 256]
-//	        [-rate 0] [-burst 8] [-max-body 1048576]
+//	        [-rate 0] [-burst 8] [-max-body 1048576] [-store DIR]
+//
+// With -store, snapshot endpoints persist to the same append-only log
+// cmd/fmhist reads: POST /v1/snapshots records a pipeline result,
+// GET /v1/snapshots lists, GET /v1/diff?from=&to= computes churn.
+// Without it the store is memory-backed and dies with the process.
 //
 // Quick start:
 //
@@ -44,6 +49,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client requests per second (0 disables rate limiting)")
 	burst := flag.Int("burst", 8, "per-client burst size")
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
+	storeDir := flag.String("store", "", "snapshot store directory (empty = in-memory, not persisted)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
 
@@ -58,6 +64,7 @@ func main() {
 		RatePerSec:      *rate,
 		RateBurst:       *burst,
 		MaxRequestBytes: *maxBody,
+		StoreDir:        *storeDir,
 	}, engOpts...)
 	if err != nil {
 		log.Fatal(err)

@@ -39,8 +39,10 @@ import (
 	"filtermap/internal/confirm"
 	"filtermap/internal/engine"
 	"filtermap/internal/identify"
+	"filtermap/internal/longitudinal"
 	"filtermap/internal/report"
 	"filtermap/internal/server"
+	"filtermap/internal/store"
 	"filtermap/internal/world"
 )
 
@@ -149,6 +151,39 @@ type (
 	IdentifyDoc = report.IdentifyDoc
 )
 
+// Longitudinal layer: the append-only snapshot store and the diff/churn
+// engine over it (see cmd/fmhist for the CLI surface).
+type (
+	// SnapshotStore is the append-only, content-addressed snapshot log.
+	SnapshotStore = store.Store
+	// Snapshot is one world observation to persist.
+	Snapshot = store.Snapshot
+	// SnapshotMeta describes one stored snapshot.
+	SnapshotMeta = store.Meta
+	// SnapshotQuery filters SnapshotStore.List.
+	SnapshotQuery = store.Query
+	// Diff is the churn between two snapshots (installation churn for
+	// identify snapshots, characterization drift for table4 snapshots).
+	Diff = longitudinal.Diff
+	// Timeline is per-country installation counts across snapshots.
+	Timeline = longitudinal.Timeline
+	// DiffEngine computes diffs and timelines over stored snapshots.
+	DiffEngine = longitudinal.Engine
+)
+
+// OpenStore opens (or creates) a snapshot store rooted at dir. An empty
+// dir returns a memory-backed store with no persistence.
+func OpenStore(dir string) (*SnapshotStore, error) { return store.Open(dir) }
+
+// NewDiffEngine builds a longitudinal diff engine. Trailing options tune
+// the execution substrate exactly as in NewWorld.
+func NewDiffEngine(opts ...Option) *DiffEngine { return longitudinal.New(opts...) }
+
+// ConfigHash fingerprints a configuration value (canonical JSON,
+// SHA-256, 16 hex chars) — the hash snapshot records and the fmserve
+// result cache share.
+func ConfigHash(v any) string { return store.ConfigHash(v) }
+
 // ISP names and AS numbers of the paper's case studies.
 const (
 	ISPEtisalat = world.ISPEtisalat
@@ -210,6 +245,17 @@ func (Reporter) Table4JSON(reports []*CharacterizeReport) Table4Doc {
 // IdentifyJSON builds the machine-readable identification document
 // (fmserve's POST /v1/identify encoding).
 func (Reporter) IdentifyJSON(rep *IdentifyReport) IdentifyDoc { return report.IdentifyJSON(rep) }
+
+// DiffText renders a longitudinal diff as text — the same output fmhist
+// diff prints.
+func (Reporter) DiffText(d *Diff) string { return d.Render() }
+
+// DiffJSON returns the diff document itself (fmserve's GET /v1/diff
+// encoding); it exists for symmetry with the other *JSON renderers.
+func (Reporter) DiffJSON(d *Diff) *Diff { return d }
+
+// Timeline renders a longitudinal timeline as a per-country count table.
+func (Reporter) Timeline(tl *Timeline) string { return tl.Render() }
 
 // RenderTable1 renders the paper's product inventory.
 //

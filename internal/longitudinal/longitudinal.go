@@ -1,0 +1,532 @@
+// Package longitudinal turns stored snapshots into churn analysis: what
+// changed between two observations of the simulated Internet, and how
+// deployment counts evolve over a time range.
+//
+// The paper's §3 identification is explicitly repeatable — installations
+// appear, move ASNs, upgrade products, and vanish between runs, and §5's
+// Table 4 is a point-in-time matrix that drifts as ISPs reconfigure
+// filters. This package consumes the JSON documents `internal/store`
+// persists ("identify" bodies are report.IdentifyDoc, "table4" bodies are
+// report.Table4Doc) and computes:
+//
+//   - installation churn between two identify snapshots: added/removed
+//     IPs, per-IP product upgrades, ASN/country migrations, and
+//     per-country / per-product count deltas;
+//   - characterization drift between two table4 snapshots: matrix rows
+//     gained and lost, and per-(product, country, ASN) categories newly
+//     blocked or unblocked;
+//   - per-country installation-count timelines over any snapshot range
+//     (Figure 1 over time).
+//
+// Comparison work fans out through internal/engine (stages
+// "diff-installs", "diff-matrix", "timeline"), so per-stage counters land
+// in the same Stats surface the pipelines use.
+package longitudinal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"filtermap/internal/engine"
+	"filtermap/internal/report"
+	"filtermap/internal/store"
+)
+
+// Snapshot kinds this package understands.
+const (
+	KindIdentify = "identify"
+	KindTable4   = "table4"
+)
+
+// Engine stage names (visible in engine Stats / fmserve metrics).
+const (
+	StageDiffInstalls = "diff-installs"
+	StageDiffMatrix   = "diff-matrix"
+	StageTimeline     = "timeline"
+)
+
+// Input is one snapshot to analyze: its store metadata plus the raw body.
+type Input struct {
+	Meta store.Meta
+	Body json.RawMessage
+}
+
+// SnapRef identifies one side of a diff in outputs.
+type SnapRef struct {
+	Seq    uint64    `json:"seq"`
+	ID     string    `json:"id"`
+	Kind   string    `json:"kind"`
+	At     time.Time `json:"at"`
+	Config string    `json:"config,omitempty"`
+}
+
+func refOf(m store.Meta) SnapRef {
+	return SnapRef{Seq: m.Seq, ID: m.ID, Kind: m.Kind, At: m.At, Config: m.Config}
+}
+
+// Engine computes diffs and timelines. The zero value works; set Config
+// to share a worker pool / Stats registry with the rest of the system.
+type Engine struct {
+	Config engine.Config
+}
+
+// New builds an Engine from engine options.
+func New(opts ...engine.Option) *Engine {
+	return &Engine{Config: engine.NewConfig(opts...)}
+}
+
+// ---- diff documents ----
+
+// Diff is the churn between two snapshots of the same kind. Exactly one
+// of Installs and Matrix is set, matching the snapshot kind.
+type Diff struct {
+	From     SnapRef      `json:"from"`
+	To       SnapRef      `json:"to"`
+	Installs *InstallDiff `json:"installs,omitempty"`
+	Matrix   *MatrixDiff  `json:"matrix,omitempty"`
+}
+
+// InstallDiff is identification churn: the §3 installation set compared
+// across two runs.
+type InstallDiff struct {
+	FromTotal int `json:"from_total"`
+	ToTotal   int `json:"to_total"`
+	// Added and Removed are installations present on only one side,
+	// sorted by IP.
+	Added   []report.InstallationDoc `json:"added,omitempty"`
+	Removed []report.InstallationDoc `json:"removed,omitempty"`
+	// Changed lists per-IP product upgrades and ASN/country migrations.
+	Changed   []InstallationChange `json:"changed,omitempty"`
+	Unchanged int                  `json:"unchanged"`
+	// Countries and Products are count deltas (Figure 1 drift).
+	Countries []CountryDelta `json:"countries,omitempty"`
+	Products  []ProductDelta `json:"products,omitempty"`
+}
+
+// InstallationChange is one surviving IP whose attributes moved.
+type InstallationChange struct {
+	IP string `json:"ip"`
+	// ProductsAdded/Removed capture upgrades and replacements (e.g. a
+	// proxy now also fingerprinting as a newer product).
+	ProductsAdded   []string `json:"products_added,omitempty"`
+	ProductsRemoved []string `json:"products_removed,omitempty"`
+	// Migration detail (set when Migrated).
+	FromASN     int    `json:"from_asn,omitempty"`
+	ToASN       int    `json:"to_asn,omitempty"`
+	FromASName  string `json:"from_as_name,omitempty"`
+	ToASName    string `json:"to_as_name,omitempty"`
+	FromCountry string `json:"from_country,omitempty"`
+	ToCountry   string `json:"to_country,omitempty"`
+	// Hostname change (re-pointed DNS) is tracked but classified as
+	// neither upgrade nor migration.
+	FromHostname string `json:"from_hostname,omitempty"`
+	ToHostname   string `json:"to_hostname,omitempty"`
+	// Upgraded: product set changed. Migrated: ASN or country changed.
+	Upgraded bool `json:"upgraded"`
+	Migrated bool `json:"migrated"`
+}
+
+// CountryDelta is one country's installation-count change.
+type CountryDelta struct {
+	Country string `json:"country"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+}
+
+// ProductDelta is one product's installation-count change.
+type ProductDelta struct {
+	Product string `json:"product"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+}
+
+// MatrixDiff is characterization drift: Table 4 compared across two runs.
+type MatrixDiff struct {
+	FromRows int `json:"from_rows"`
+	ToRows   int `json:"to_rows"`
+	// AddedRows/RemovedRows are (product, country, ASN) rows present on
+	// only one side.
+	AddedRows   []report.Table4RowDoc `json:"added_rows,omitempty"`
+	RemovedRows []report.Table4RowDoc `json:"removed_rows,omitempty"`
+	// Changed lists surviving rows whose blocked-category set moved.
+	Changed []MatrixRowChange `json:"changed,omitempty"`
+}
+
+// MatrixRowChange is one row's category drift.
+type MatrixRowChange struct {
+	Product string `json:"product"`
+	Country string `json:"country"`
+	ASN     int    `json:"asn"`
+	// NewlyBlocked/Unblocked are category codes that flipped.
+	NewlyBlocked []string `json:"newly_blocked,omitempty"`
+	Unblocked    []string `json:"unblocked,omitempty"`
+}
+
+// ---- timelines ----
+
+// Timeline is per-country installation counts across a snapshot range.
+type Timeline struct {
+	// Countries is the union of country codes, sorted.
+	Countries []string        `json:"countries"`
+	Points    []TimelinePoint `json:"points"`
+}
+
+// TimelinePoint is one snapshot's counts.
+type TimelinePoint struct {
+	Ref   SnapRef `json:"ref"`
+	Total int     `json:"total"`
+	// ByCountry maps country code -> installation count.
+	ByCountry map[string]int `json:"by_country"`
+}
+
+// ---- diff computation ----
+
+// Diff compares two snapshots of the same kind.
+func (e *Engine) Diff(ctx context.Context, from, to Input) (*Diff, error) {
+	if from.Meta.Kind != to.Meta.Kind {
+		return nil, fmt.Errorf("longitudinal: cannot diff kind %q against %q", from.Meta.Kind, to.Meta.Kind)
+	}
+	d := &Diff{From: refOf(from.Meta), To: refOf(to.Meta)}
+	switch from.Meta.Kind {
+	case KindIdentify:
+		id, err := e.diffInstalls(ctx, from.Body, to.Body)
+		if err != nil {
+			return nil, err
+		}
+		d.Installs = id
+	case KindTable4:
+		md, err := e.diffMatrix(ctx, from.Body, to.Body)
+		if err != nil {
+			return nil, err
+		}
+		d.Matrix = md
+	default:
+		return nil, fmt.Errorf("longitudinal: unsupported snapshot kind %q", from.Meta.Kind)
+	}
+	return d, nil
+}
+
+func decodeIdentify(body json.RawMessage) (*report.IdentifyDoc, error) {
+	var doc report.IdentifyDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("longitudinal: decode identify snapshot: %w", err)
+	}
+	return &doc, nil
+}
+
+func (e *Engine) diffInstalls(ctx context.Context, fromBody, toBody json.RawMessage) (*InstallDiff, error) {
+	fromDoc, err := decodeIdentify(fromBody)
+	if err != nil {
+		return nil, err
+	}
+	toDoc, err := decodeIdentify(toBody)
+	if err != nil {
+		return nil, err
+	}
+	fromByIP := instIndex(fromDoc.Installations)
+	toByIP := instIndex(toDoc.Installations)
+
+	ips := make([]string, 0, len(fromByIP)+len(toByIP))
+	for ip := range fromByIP {
+		ips = append(ips, ip)
+	}
+	for ip := range toByIP {
+		if _, ok := fromByIP[ip]; !ok {
+			ips = append(ips, ip)
+		}
+	}
+	sortIPs(ips)
+
+	// One engine item per IP in the union: classify as added, removed,
+	// changed or unchanged. Trivial per item, but it routes through the
+	// shared pool so stage counters land next to the pipelines'.
+	type verdict struct {
+		added   *report.InstallationDoc
+		removed *report.InstallationDoc
+		change  *InstallationChange
+	}
+	verdicts, err := engine.Map(ctx, e.Config, StageDiffInstalls, ips, func(_ context.Context, ip string) (verdict, error) {
+		f, inFrom := fromByIP[ip]
+		t, inTo := toByIP[ip]
+		switch {
+		case !inFrom:
+			return verdict{added: &t}, nil
+		case !inTo:
+			return verdict{removed: &f}, nil
+		default:
+			if c := compareInstall(f, t); c != nil {
+				return verdict{change: c}, nil
+			}
+			return verdict{}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &InstallDiff{FromTotal: len(fromDoc.Installations), ToTotal: len(toDoc.Installations)}
+	for _, v := range verdicts {
+		switch {
+		case v.added != nil:
+			d.Added = append(d.Added, *v.added)
+		case v.removed != nil:
+			d.Removed = append(d.Removed, *v.removed)
+		case v.change != nil:
+			d.Changed = append(d.Changed, *v.change)
+		default:
+			d.Unchanged++
+		}
+	}
+	d.Countries = countryDeltas(fromDoc.Installations, toDoc.Installations)
+	d.Products = productDeltas(fromDoc.Installations, toDoc.Installations)
+	return d, nil
+}
+
+func instIndex(insts []report.InstallationDoc) map[string]report.InstallationDoc {
+	m := make(map[string]report.InstallationDoc, len(insts))
+	for _, in := range insts {
+		m[in.IP] = in
+	}
+	return m
+}
+
+// sortIPs orders dotted quads numerically (string sort would put
+// 27.130.1.1 after 190.96.1.1).
+func sortIPs(ips []string) {
+	key := func(ip string) [4]int {
+		var k [4]int
+		parts := strings.Split(ip, ".")
+		for i := 0; i < len(parts) && i < 4; i++ {
+			fmt.Sscanf(parts[i], "%d", &k[i]) //nolint:errcheck
+		}
+		return k
+	}
+	sort.Slice(ips, func(i, j int) bool {
+		a, b := key(ips[i]), key(ips[j])
+		for x := 0; x < 4; x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return ips[i] < ips[j]
+	})
+}
+
+// compareInstall reports how one IP's installation moved, or nil when
+// unchanged.
+func compareInstall(f, t report.InstallationDoc) *InstallationChange {
+	c := InstallationChange{IP: f.IP}
+	c.ProductsAdded = setMinus(t.Products, f.Products)
+	c.ProductsRemoved = setMinus(f.Products, t.Products)
+	c.Upgraded = len(c.ProductsAdded) > 0 || len(c.ProductsRemoved) > 0
+	if f.ASN != t.ASN || f.Country != t.Country {
+		c.Migrated = true
+		c.FromASN, c.ToASN = f.ASN, t.ASN
+		c.FromASName, c.ToASName = f.ASName, t.ASName
+		c.FromCountry, c.ToCountry = f.Country, t.Country
+	}
+	if f.Hostname != t.Hostname {
+		c.FromHostname, c.ToHostname = f.Hostname, t.Hostname
+	}
+	if !c.Upgraded && !c.Migrated && c.FromHostname == "" && c.ToHostname == "" {
+		return nil
+	}
+	return &c
+}
+
+// setMinus returns sorted members of a not in b.
+func setMinus(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, s := range b {
+		in[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !in[s] {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func countryDeltas(from, to []report.InstallationDoc) []CountryDelta {
+	fc, tc := map[string]int{}, map[string]int{}
+	for _, in := range from {
+		fc[in.Country]++
+	}
+	for _, in := range to {
+		tc[in.Country]++
+	}
+	var out []CountryDelta
+	for _, cc := range unionKeys(fc, tc) {
+		if fc[cc] != tc[cc] {
+			out = append(out, CountryDelta{Country: cc, From: fc[cc], To: tc[cc]})
+		}
+	}
+	return out
+}
+
+func productDeltas(from, to []report.InstallationDoc) []ProductDelta {
+	fc, tc := map[string]int{}, map[string]int{}
+	for _, in := range from {
+		for _, p := range in.Products {
+			fc[p]++
+		}
+	}
+	for _, in := range to {
+		for _, p := range in.Products {
+			tc[p]++
+		}
+	}
+	var out []ProductDelta
+	for _, p := range unionKeys(fc, tc) {
+		if fc[p] != tc[p] {
+			out = append(out, ProductDelta{Product: p, From: fc[p], To: tc[p]})
+		}
+	}
+	return out
+}
+
+func unionKeys(a, b map[string]int) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var keys []string
+	for k := range a {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func decodeTable4(body json.RawMessage) (*report.Table4Doc, error) {
+	var doc report.Table4Doc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("longitudinal: decode table4 snapshot: %w", err)
+	}
+	return &doc, nil
+}
+
+func (e *Engine) diffMatrix(ctx context.Context, fromBody, toBody json.RawMessage) (*MatrixDiff, error) {
+	fromDoc, err := decodeTable4(fromBody)
+	if err != nil {
+		return nil, err
+	}
+	toDoc, err := decodeTable4(toBody)
+	if err != nil {
+		return nil, err
+	}
+	rowKey := func(r report.Table4RowDoc) string {
+		return fmt.Sprintf("%s\x00%s\x00%d", r.Product, r.Country, r.ASN)
+	}
+	fromRows := make(map[string]report.Table4RowDoc, len(fromDoc.Rows))
+	for _, r := range fromDoc.Rows {
+		fromRows[rowKey(r)] = r
+	}
+	toRows := make(map[string]report.Table4RowDoc, len(toDoc.Rows))
+	for _, r := range toDoc.Rows {
+		toRows[rowKey(r)] = r
+	}
+	var keys []string
+	seen := map[string]bool{}
+	for _, r := range fromDoc.Rows {
+		if k := rowKey(r); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, r := range toDoc.Rows {
+		if k := rowKey(r); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	type verdict struct {
+		added   *report.Table4RowDoc
+		removed *report.Table4RowDoc
+		change  *MatrixRowChange
+	}
+	verdicts, err := engine.Map(ctx, e.Config, StageDiffMatrix, keys, func(_ context.Context, k string) (verdict, error) {
+		f, inFrom := fromRows[k]
+		t, inTo := toRows[k]
+		switch {
+		case !inFrom:
+			return verdict{added: &t}, nil
+		case !inTo:
+			return verdict{removed: &f}, nil
+		default:
+			newly := setMinus(t.Blocked, f.Blocked)
+			gone := setMinus(f.Blocked, t.Blocked)
+			if len(newly) == 0 && len(gone) == 0 {
+				return verdict{}, nil
+			}
+			return verdict{change: &MatrixRowChange{
+				Product: f.Product, Country: f.Country, ASN: f.ASN,
+				NewlyBlocked: newly, Unblocked: gone,
+			}}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &MatrixDiff{FromRows: len(fromDoc.Rows), ToRows: len(toDoc.Rows)}
+	for _, v := range verdicts {
+		switch {
+		case v.added != nil:
+			d.AddedRows = append(d.AddedRows, *v.added)
+		case v.removed != nil:
+			d.RemovedRows = append(d.RemovedRows, *v.removed)
+		case v.change != nil:
+			d.Changed = append(d.Changed, *v.change)
+		}
+	}
+	return d, nil
+}
+
+// ---- timeline computation ----
+
+// Timeline computes per-country installation counts across identify
+// snapshots, in input order.
+func (e *Engine) Timeline(ctx context.Context, inputs []Input) (*Timeline, error) {
+	points, err := engine.Map(ctx, e.Config, StageTimeline, inputs, func(_ context.Context, in Input) (TimelinePoint, error) {
+		if in.Meta.Kind != KindIdentify {
+			return TimelinePoint{}, fmt.Errorf("longitudinal: timeline needs %q snapshots, got %q (seq %d)", KindIdentify, in.Meta.Kind, in.Meta.Seq)
+		}
+		doc, err := decodeIdentify(in.Body)
+		if err != nil {
+			return TimelinePoint{}, err
+		}
+		pt := TimelinePoint{Ref: refOf(in.Meta), ByCountry: map[string]int{}}
+		for _, inst := range doc.Installations {
+			pt.Total++
+			pt.ByCountry[inst.Country]++
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tl := &Timeline{Points: points}
+	seen := map[string]bool{}
+	for _, pt := range points {
+		for cc := range pt.ByCountry {
+			if !seen[cc] {
+				seen[cc] = true
+				tl.Countries = append(tl.Countries, cc)
+			}
+		}
+	}
+	sort.Strings(tl.Countries)
+	return tl, nil
+}

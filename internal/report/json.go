@@ -5,6 +5,7 @@ import (
 
 	"filtermap/internal/characterize"
 	"filtermap/internal/confirm"
+	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/urllist"
 )
@@ -83,6 +84,9 @@ type IdentifyDoc struct {
 	FalsePositiveRate float64             `json:"false_positive_rate"`
 	Installations     []InstallationDoc   `json:"installations"`
 	QueryErrors       []QueryErrorDoc     `json:"query_errors,omitempty"`
+	// Stats optionally carries the engine's per-stage execution snapshot
+	// (machine-readable -stats / ?stats=1; omitted unless requested).
+	Stats *engine.Snapshot `json:"stats,omitempty"`
 }
 
 // InstallationDoc is one validated installation.
@@ -133,6 +137,8 @@ func IdentifyJSON(rep *identify.Report) IdentifyDoc {
 // Table3Doc is the JSON rendering of the confirmation case studies.
 type Table3Doc struct {
 	Rows []Table3RowDoc `json:"rows"`
+	// Stats optionally carries the engine's per-stage execution snapshot.
+	Stats *engine.Snapshot `json:"stats,omitempty"`
 }
 
 // Table3RowDoc is one case study outcome.
@@ -184,9 +190,11 @@ func Table3JSON(outcomes []*confirm.Outcome) Table3Doc {
 type Table4Doc struct {
 	// Columns lists the six protected-speech research category codes in
 	// Table 4 column order.
-	Columns []Table4ColumnDoc `json:"columns"`
-	Rows    []Table4RowDoc    `json:"rows"`
+	Columns []Table4ColumnDoc  `json:"columns"`
+	Rows    []Table4RowDoc     `json:"rows"`
 	Reports []CountryReportDoc `json:"reports"`
+	// Stats optionally carries the engine's per-stage execution snapshot.
+	Stats *engine.Snapshot `json:"stats,omitempty"`
 }
 
 // Table4ColumnDoc names one matrix column.

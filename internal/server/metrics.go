@@ -22,6 +22,10 @@ type metrics struct {
 	limited   uint64
 	runs      map[string]uint64
 
+	snapshots        uint64
+	snapshotsDeduped uint64
+	diffs            uint64
+
 	// engineStats and engineEvents are installed into every world's
 	// engine config, so pipeline stages report here across runs.
 	engineStats  *engine.Stats
@@ -69,6 +73,21 @@ func (m *metrics) cacheMiss()   { m.mu.Lock(); m.misses++; m.mu.Unlock() }
 func (m *metrics) cacheShared() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 func (m *metrics) rateLimited() { m.mu.Lock(); m.limited++; m.mu.Unlock() }
 
+// snapshotRecorded accounts one POST /v1/snapshots append (deduped when
+// the store collapsed it onto an existing record).
+func (m *metrics) snapshotRecorded(deduped bool) {
+	m.mu.Lock()
+	m.snapshots++
+	if deduped {
+		m.snapshotsDeduped++
+	}
+	m.mu.Unlock()
+}
+
+// diffComputed accounts one longitudinal diff execution (cache misses
+// only; cached diffs count as cache hits).
+func (m *metrics) diffComputed() { m.mu.Lock(); m.diffs++; m.mu.Unlock() }
+
 // run accounts one underlying pipeline execution of the given kind.
 func (m *metrics) run(kind string) {
 	m.mu.Lock()
@@ -84,6 +103,7 @@ type MetricsDoc struct {
 	Jobs          JobCountsDoc                  `json:"jobs"`
 	Runs          map[string]uint64             `json:"runs"`
 	RateLimited   uint64                        `json:"rate_limited"`
+	Snapshots     SnapshotCountsDoc             `json:"snapshots"`
 	Engine        engine.Snapshot               `json:"engine"`
 	EngineEvents  map[string]engine.EventCounts `json:"engine_events"`
 }
@@ -106,6 +126,16 @@ type CacheDoc struct {
 	Entries   int    `json:"entries"`
 }
 
+// SnapshotCountsDoc is the longitudinal layer's counters: snapshot
+// appends (and how many deduped onto existing records) plus computed
+// diffs.
+type SnapshotCountsDoc struct {
+	Recorded uint64 `json:"recorded"`
+	Deduped  uint64 `json:"deduped"`
+	Diffs    uint64 `json:"diffs"`
+	Stored   int    `json:"stored"`
+}
+
 // JobCountsDoc is the job manager's state census.
 type JobCountsDoc struct {
 	Queued  int `json:"queued"`
@@ -115,7 +145,7 @@ type JobCountsDoc struct {
 }
 
 // snapshot freezes every counter into the /metrics document.
-func (m *metrics) snapshot(now time.Time, cacheEntries int, jobs JobCountsDoc) MetricsDoc {
+func (m *metrics) snapshot(now time.Time, cacheEntries int, jobs JobCountsDoc, snapsStored int) MetricsDoc {
 	m.mu.Lock()
 	doc := MetricsDoc{
 		UptimeSeconds: now.Sub(m.startedAt).Seconds(),
@@ -129,6 +159,12 @@ func (m *metrics) snapshot(now time.Time, cacheEntries int, jobs JobCountsDoc) M
 		Jobs:        jobs,
 		Runs:        make(map[string]uint64, len(m.runs)),
 		RateLimited: m.limited,
+		Snapshots: SnapshotCountsDoc{
+			Recorded: m.snapshots,
+			Deduped:  m.snapshotsDeduped,
+			Diffs:    m.diffs,
+			Stored:   snapsStored,
+		},
 	}
 	for route, es := range m.endpoints {
 		ed := EndpointDoc{Requests: es.requests, Errors: es.errors, MaxLatNs: int64(es.maxLat)}

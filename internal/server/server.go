@@ -41,8 +41,10 @@ import (
 	"filtermap/internal/confirm"
 	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
+	"filtermap/internal/longitudinal"
 	"filtermap/internal/report"
 	"filtermap/internal/scanner"
+	"filtermap/internal/store"
 	"filtermap/internal/world"
 )
 
@@ -74,6 +76,9 @@ type Options struct {
 	RateBurst int
 	// MaxRequestBytes caps request bodies (0 = 1 MiB).
 	MaxRequestBytes int64
+	// StoreDir roots the longitudinal snapshot store ("" = in-memory:
+	// snapshots work but do not survive the process).
+	StoreDir string
 
 	// now substitutes the clock in tests (nil = time.Now).
 	now func() time.Time
@@ -94,6 +99,9 @@ type Server struct {
 	base    *world.World
 	baseMu  sync.Mutex // guards the lazy base-world banner scan
 	baseIdx *scanner.Index
+
+	snaps   *store.Store
+	diffEng *longitudinal.Engine
 
 	// execHook intercepts pipeline executions in tests (nil in
 	// production).
@@ -142,6 +150,13 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	}
 	s.base = base
 
+	s.snaps, err = store.Open(opts.StoreDir)
+	if err != nil {
+		base.Close()
+		return nil, fmt.Errorf("server: open snapshot store: %w", err)
+	}
+	s.diffEng = &longitudinal.Engine{Config: engine.NewConfig(s.engOpts...)}
+
 	s.jobs = newJobManager(opts.JobWorkers, opts.now, func(ctx context.Context, j *job) ([]byte, error) {
 		return s.cachedRun(ctx, j.kind, j.key, j.req)
 	})
@@ -158,6 +173,10 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	handle("GET /v1/jobs/{id}", s.handleJobGet)
 	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	handle("GET /v1/reports/{kind}", s.handleReport)
+	handle("POST /v1/snapshots", s.handleSnapshotRecord)
+	handle("GET /v1/snapshots", s.handleSnapshotList)
+	handle("GET /v1/snapshots/{id}", s.handleSnapshotGet)
+	handle("GET /v1/diff", s.handleDiff)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	s.handler = s.root(mux)
@@ -175,7 +194,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // (http.Server.Shutdown).
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.jobs.shutdown(ctx)
-	s.closeOnce.Do(func() { s.base.Close() })
+	s.closeOnce.Do(func() {
+		s.base.Close()
+		if serr := s.snaps.Close(); serr != nil && err == nil {
+			err = serr
+		}
+	})
 	return err
 }
 
@@ -334,16 +358,42 @@ func sortDedupe(in []string) []string {
 	return out
 }
 
-// canonicalKey derives the cache/singleflight key from a normalized
-// request: kind plus its deterministic JSON encoding.
-func canonicalKey(kind string, req any) string {
+// worldConfigOf extracts a request's evasion overlay (zero value when
+// the request type carries none).
+func worldConfigOf(req any) WorldConfig {
+	switch r := req.(type) {
+	case *IdentifyRequest:
+		return r.World
+	case *ConfirmRequest:
+		return r.World
+	case *CharacterizeRequest:
+		return r.World
+	}
+	return WorldConfig{}
+}
+
+// worldHash is the fingerprint of the effective world.Options a request
+// runs under: the request's evasion overlay applied to the server's base
+// options. It is the same hash the snapshot store records, so a cached
+// body and a persisted snapshot of the same run share a config identity.
+func (s *Server) worldHash(req any) string {
+	return store.ConfigHash(worldConfigOf(req).options(s.opts.World))
+}
+
+// requestKey derives the cache/singleflight key from a normalized
+// request: kind, the effective world-config hash, and the request's
+// deterministic JSON encoding. Hashing the *effective* options (not just
+// the request overlay) keeps results from one base-world configuration
+// from being served after the server is restarted onto another — two
+// servers with different seeds or evasion baselines never share keys.
+func (s *Server) requestKey(kind string, req any) string {
 	b, err := json.Marshal(req)
 	if err != nil {
 		// Request types marshal by construction; a failure here is a
 		// programming error, and an unshareable key is the safe fallback.
 		return kind + ":unmarshalable"
 	}
-	return kind + ":" + string(b)
+	return kind + ":" + s.worldHash(req) + ":" + string(b)
 }
 
 // ---- dispatch: cache -> singleflight -> pipeline ----
@@ -557,10 +607,10 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // Location) — unless ?wait=1, which blocks through the singleflight for
 // the result.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, req any) {
-	key := canonicalKey(kind, req)
+	key := s.requestKey(kind, req)
 	if val, ok := s.cache.get(key); ok {
 		s.metrics.cacheHit()
-		writeRawJSON(w, http.StatusOK, val)
+		writeRawJSON(w, http.StatusOK, s.maybeAttachStats(r, val))
 		return
 	}
 	if wantsWait(r) {
@@ -569,7 +619,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, r
 			jsonError(w, errorStatus(err), err.Error())
 			return
 		}
-		writeRawJSON(w, http.StatusOK, val)
+		writeRawJSON(w, http.StatusOK, s.maybeAttachStats(r, val))
 		return
 	}
 	j, existing, err := s.jobs.submit(kind, key, req)
@@ -609,7 +659,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, errorStatus(err), err.Error())
 		return
 	}
-	key := canonicalKey(body.Kind, req)
+	key := s.requestKey(body.Kind, req)
 	j, existing, err := s.jobs.submit(body.Kind, key, req)
 	if err != nil {
 		jsonError(w, http.StatusServiceUnavailable, err.Error())
@@ -716,10 +766,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // serveCached runs a default-parameter pipeline through the cache and
 // optionally reshapes the cached document before responding.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, kind string, req any, reshape func([]byte) (any, error)) {
-	key := canonicalKey(kind, req)
+	key := s.requestKey(kind, req)
 	if val, ok := s.cache.get(key); ok {
 		s.metrics.cacheHit()
-		s.respondMaybeReshaped(w, val, reshape)
+		s.respondMaybeReshaped(w, r, val, reshape)
 		return
 	}
 	val, err := s.cachedRun(r.Context(), kind, key, req)
@@ -727,12 +777,12 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, kind string
 		jsonError(w, errorStatus(err), err.Error())
 		return
 	}
-	s.respondMaybeReshaped(w, val, reshape)
+	s.respondMaybeReshaped(w, r, val, reshape)
 }
 
-func (s *Server) respondMaybeReshaped(w http.ResponseWriter, val []byte, reshape func([]byte) (any, error)) {
+func (s *Server) respondMaybeReshaped(w http.ResponseWriter, r *http.Request, val []byte, reshape func([]byte) (any, error)) {
 	if reshape == nil {
-		writeRawJSON(w, http.StatusOK, val)
+		writeRawJSON(w, http.StatusOK, s.maybeAttachStats(r, val))
 		return
 	}
 	doc, err := reshape(val)
@@ -743,6 +793,37 @@ func (s *Server) respondMaybeReshaped(w http.ResponseWriter, val []byte, reshape
 	writeJSON(w, http.StatusOK, doc)
 }
 
+// wantsStats reports the ?stats=1 opt-in: include the engine's current
+// per-stage Stats snapshot in the response's optional "stats" field.
+func wantsStats(r *http.Request) bool {
+	switch r.URL.Query().Get("stats") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// maybeAttachStats injects the engine Stats snapshot into a cached JSON
+// document when the request opted in. The injection happens after the
+// cache, so cached bytes stay stable and stats reflect serving time.
+func (s *Server) maybeAttachStats(r *http.Request, val []byte) []byte {
+	if !wantsStats(r) {
+		return val
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(val, &doc); err != nil {
+		return val
+	}
+	snap := s.metrics.engineStats.Snapshot()
+	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Stage < snap.Stages[j].Stage })
+	doc["stats"] = snap
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return val
+	}
+	return b
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -751,7 +832,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	doc := s.metrics.snapshot(s.opts.now(), s.cache.len(), s.jobs.counts())
+	doc := s.metrics.snapshot(s.opts.now(), s.cache.len(), s.jobs.counts(), s.snaps.Count())
 	writeJSON(w, http.StatusOK, doc)
 }
 
