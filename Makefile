@@ -23,6 +23,14 @@ golden:
 hist-golden:
 	go test -run TestGoldenHistDiff -count=1 .
 
+# The discovery end-to-end check: the multi-round crawl must find novel
+# blocked URLs deterministically and match testdata/discovery.golden
+# byte-for-byte. Regenerate the golden after an intentional change with
+# `go run ./cmd/fmdiscover > testdata/discovery.golden`.
+.PHONY: discover-golden
+discover-golden:
+	go test -run 'TestGoldenDiscovery|TestDiscoverEndpointMatchesCLIDocument' -count=1 .
+
 # The evaluation benchmarks, including the serial-vs-parallel
 # identification scaling run.
 .PHONY: bench

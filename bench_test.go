@@ -46,7 +46,7 @@ func mustWorld(b *testing.B, opts filtermap.Options) *filtermap.World {
 func BenchmarkTable1ProductInventory(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = filtermap.RenderTable1()
+		out = filtermap.Reporter{}.Table1()
 	}
 	if !strings.Contains(out, "Netsweeper") {
 		b.Fatal("table 1 missing products")

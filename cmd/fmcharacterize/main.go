@@ -15,11 +15,15 @@ import (
 	"time"
 
 	"filtermap"
+
+	"filtermap/internal/version"
 )
 
 func main() {
 	showBlocked := flag.Bool("blocked", false, "print each blocked URL with its attribution")
+	checkVersion := version.Flag(flag.CommandLine, "fmcharacterize")
 	flag.Parse()
+	checkVersion()
 
 	w, err := filtermap.NewWorld(filtermap.Options{})
 	if err != nil {

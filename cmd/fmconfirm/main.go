@@ -21,13 +21,16 @@ import (
 
 	"filtermap/internal/confirm"
 	"filtermap/internal/measurement"
+	"filtermap/internal/version"
 )
 
 func main() {
 	campaign := flag.String("campaign", "", "run a single campaign by key (see -list)")
 	list := flag.Bool("list", false, "list campaign keys and exit")
 	verbose := flag.Bool("v", false, "print per-domain verdicts")
+	checkVersion := version.Flag(flag.CommandLine, "fmconfirm")
 	flag.Parse()
+	checkVersion()
 
 	w, err := filtermap.NewWorld(filtermap.Options{})
 	if err != nil {

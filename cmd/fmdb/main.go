@@ -18,6 +18,7 @@ import (
 
 	"filtermap/internal/categorydb"
 	"filtermap/internal/simclock"
+	"filtermap/internal/version"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 		usage()
 	}
 	switch os.Args[1] {
+	case "-version", "--version":
+		fmt.Println("fmdb " + version.String())
 	case "dump":
 		fs := flag.NewFlagSet("dump", flag.ExitOnError)
 		vendor := fs.String("vendor", "", "bluecoat | smartfilter | netsweeper | websense")

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	fmhist -dir DIR record [-kind identify|table4] [-note TEXT]
+//	fmhist -dir DIR record [-kind identify|table4|discovery] [-note TEXT]
 //	                       (-in report.json | -run) [-advance 168h]
 //	                       [-seed N] [-workers N] [-hide-consoles] [-scrub-headers]
+//	                       [-rounds N] [-budget N]
 //	fmhist -dir DIR list [-kind K] [-json]
 //	fmhist -dir DIR show SELECTOR [-json]
 //	fmhist -dir DIR diff FROM TO [-json]
@@ -42,14 +43,17 @@ import (
 	"filtermap/internal/longitudinal"
 	"filtermap/internal/simclock"
 	"filtermap/internal/store"
+	"filtermap/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fmhist: ")
 	dir := flag.String("dir", "", "snapshot store directory (required)")
+	checkVersion := version.Flag(flag.CommandLine, "fmhist")
 	flag.Usage = usage
 	flag.Parse()
+	checkVersion()
 	if *dir == "" || flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
@@ -103,7 +107,7 @@ subcommands:
 // record persists one snapshot, from a file or a fresh pipeline run.
 func record(s *store.Store, args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	kind := fs.String("kind", longitudinal.KindIdentify, "snapshot kind: identify or table4")
+	kind := fs.String("kind", longitudinal.KindIdentify, "snapshot kind: identify, table4, or discovery")
 	note := fs.String("note", "", "free-form annotation")
 	in := fs.String("in", "", "ingest a JSON document (fmscan/fmrepro -json output)")
 	run := fs.Bool("run", false, "build the world and run the pipeline")
@@ -112,9 +116,13 @@ func record(s *store.Store, args []string) error {
 	workers := fs.Int("workers", 0, "engine worker-pool size (with -run; 0 = default)")
 	hideConsoles := fs.Bool("hide-consoles", false, "evasion: hide product consoles (with -run)")
 	scrubHeaders := fs.Bool("scrub-headers", false, "evasion: scrub brand headers (with -run)")
+	rounds := fs.Int("rounds", 0, "discovery crawl rounds (with -run -kind discovery; 0 = default)")
+	budget := fs.Int("budget", 0, "discovery probe budget (with -run -kind discovery; 0 = default)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
-	if *kind != longitudinal.KindIdentify && *kind != longitudinal.KindTable4 {
-		return fmt.Errorf("unsupported kind %q (identify or table4)", *kind)
+	switch *kind {
+	case longitudinal.KindIdentify, longitudinal.KindTable4, longitudinal.KindDiscovery:
+	default:
+		return fmt.Errorf("unsupported kind %q (identify, table4, or discovery)", *kind)
 	}
 	if (*in == "") == !*run {
 		return fmt.Errorf("record needs exactly one of -in or -run")
@@ -163,6 +171,15 @@ func record(s *store.Store, args []string) error {
 				return err
 			}
 			doc = filtermap.Reporter{}.Table4JSON(reports)
+		case longitudinal.KindDiscovery:
+			w.Clock.Advance(8 * time.Hour)
+			targets, err := w.RunDiscovery(ctx, filtermap.DiscoveryOptions{
+				Rounds: *rounds, Budget: *budget,
+			})
+			if err != nil {
+				return err
+			}
+			doc = filtermap.Reporter{}.DiscoveryJSON(*rounds, *budget, targets)
 		}
 		if body, err = json.Marshal(doc); err != nil {
 			return err

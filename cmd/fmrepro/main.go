@@ -31,6 +31,7 @@ import (
 	"filtermap/internal/measurement"
 	"filtermap/internal/report"
 	"filtermap/internal/urllist"
+	"filtermap/internal/version"
 )
 
 var (
@@ -67,7 +68,9 @@ func jsonStats(w *filtermap.World) *filtermap.StatsSnapshot {
 
 func main() {
 	only := flag.String("only", "", "regenerate a single artifact: table1..table5, figure1, denypagetests")
+	checkVersion := version.Flag(flag.CommandLine, "fmrepro")
 	flag.Parse()
+	checkVersion()
 
 	steps := []struct {
 		name string

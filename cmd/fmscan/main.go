@@ -24,6 +24,7 @@ import (
 	"filtermap"
 
 	"filtermap/internal/scanner"
+	"filtermap/internal/version"
 )
 
 func main() {
@@ -34,7 +35,9 @@ func main() {
 	loadCensus := flag.String("load-census", "", "load the banner index from a census JSONL file instead of scanning")
 	workers := flag.Int("workers", 0, "worker-pool size for scan/validate/geo stages (0 = default)")
 	showStats := flag.Bool("stats", false, "print the per-stage engine timing table to stderr")
+	checkVersion := version.Flag(flag.CommandLine, "fmscan")
 	flag.Parse()
+	checkVersion()
 
 	w, err := filtermap.NewWorld(filtermap.Options{}, filtermap.WithWorkers(*workers))
 	if err != nil {

@@ -38,6 +38,8 @@ import (
 	"time"
 
 	"filtermap"
+
+	"filtermap/internal/version"
 )
 
 func main() {
@@ -51,7 +53,9 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
 	storeDir := flag.String("store", "", "snapshot store directory (empty = in-memory, not persisted)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	checkVersion := version.Flag(flag.CommandLine, "fmserve")
 	flag.Parse()
+	checkVersion()
 
 	var engOpts []filtermap.Option
 	if *workers > 0 {

@@ -35,6 +35,7 @@ import (
 	"filtermap/internal/products/smartfilter"
 	"filtermap/internal/products/websense"
 	"filtermap/internal/simclock"
+	"filtermap/internal/version"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		usage()
 	}
 	switch os.Args[1] {
+	case "-version", "--version":
+		fmt.Println("fmworld " + version.String())
 	case "serve":
 		fs := flag.NewFlagSet("serve", flag.ExitOnError)
 		base := fs.Int("base", 18080, "first TCP port")

@@ -37,12 +37,14 @@ package filtermap
 import (
 	"filtermap/internal/characterize"
 	"filtermap/internal/confirm"
+	"filtermap/internal/discovery"
 	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/longitudinal"
 	"filtermap/internal/report"
 	"filtermap/internal/server"
 	"filtermap/internal/store"
+	"filtermap/internal/urllist"
 	"filtermap/internal/world"
 )
 
@@ -64,6 +66,29 @@ type IdentifyReport = identify.Report
 
 // CharacterizeReport is one country's §5 output.
 type CharacterizeReport = characterize.Report
+
+// Discovery layer: the search-based blocked-URL crawler (see
+// cmd/fmdiscover for the CLI surface, World.RunDiscovery to drive it).
+type (
+	// DiscoveryOptions configures World.RunDiscovery (target ISPs, round
+	// and budget caps; zero values use the crawler defaults).
+	DiscoveryOptions = world.DiscoveryOptions
+	// TargetDiscovery pairs one characterization target with its crawl
+	// report.
+	TargetDiscovery = world.TargetDiscovery
+	// DiscoveryReport is one vantage's full crawl outcome.
+	DiscoveryReport = discovery.Report
+	// URLList is a curated (or synthesized) measurement list; discovery
+	// assembles its novel findings into one via DiscoveredList.
+	URLList = urllist.List
+)
+
+// DiscoveredList assembles the targets' novel blocked URLs into the
+// synthetic "discovered" theme list, deduplicated and sorted. Feed it to
+// World.RunCharacterizationWithExtra to fold discoveries into Table 4.
+func DiscoveredList(targets []TargetDiscovery) URLList {
+	return world.DiscoveredList(targets)
+}
 
 // Execution-substrate types re-exported from the shared engine, so callers
 // can tune concurrency and observe progress without reaching into
@@ -149,6 +174,8 @@ type (
 	// IdentifyDoc is the §3 report (Figure 1 content plus installations)
 	// as a document.
 	IdentifyDoc = report.IdentifyDoc
+	// DiscoveryDoc is the discovery-crawl report as a document.
+	DiscoveryDoc = report.DiscoveryDoc
 )
 
 // Longitudinal layer: the append-only snapshot store and the diff/churn
@@ -245,6 +272,30 @@ func (Reporter) Table4JSON(reports []*CharacterizeReport) Table4Doc {
 // IdentifyJSON builds the machine-readable identification document
 // (fmserve's POST /v1/identify encoding).
 func (Reporter) IdentifyJSON(rep *IdentifyReport) IdentifyDoc { return report.IdentifyJSON(rep) }
+
+// Discovery renders a discovery run as text: per-target totals, round
+// detail, and the novel blocked URLs absent from every curated list.
+// Zero rounds/budget print as the crawler defaults.
+func (Reporter) Discovery(rounds, budget int, targets []TargetDiscovery) string {
+	return report.Discovery(rounds, budget, discoveryTargets(targets), world.DiscoveredList(targets))
+}
+
+// DiscoveryJSON builds the machine-readable discovery document
+// (fmserve's POST /v1/discover encoding).
+func (Reporter) DiscoveryJSON(rounds, budget int, targets []TargetDiscovery) DiscoveryDoc {
+	return report.DiscoveryJSON(rounds, budget, discoveryTargets(targets), world.DiscoveredList(targets))
+}
+
+// discoveryTargets adapts world targets to the report layer's view.
+func discoveryTargets(targets []TargetDiscovery) []report.DiscoveryTarget {
+	rts := make([]report.DiscoveryTarget, 0, len(targets))
+	for _, t := range targets {
+		rts = append(rts, report.DiscoveryTarget{
+			Country: t.Country, ISP: t.ISP, ASN: t.ASN, Report: t.Report,
+		})
+	}
+	return rts
+}
 
 // DiffText renders a longitudinal diff as text — the same output fmhist
 // diff prints.

@@ -23,11 +23,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunIdentification: %v", err)
 	}
-	fig := filtermap.RenderFigure1(idRep)
+	fig := filtermap.Reporter{}.Figure1(idRep)
 	if !strings.Contains(fig, "Blue Coat:") || !strings.Contains(fig, "Netsweeper:") {
 		t.Fatalf("figure 1 = %s", fig)
 	}
-	installs := filtermap.RenderInstallations(idRep)
+	installs := filtermap.Reporter{}.Installations(idRep)
 	if !strings.Contains(installs, "ns1.yemen.net.ye") {
 		t.Fatal("installations table missing the YemenNet filter")
 	}
@@ -36,7 +36,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunTable3: %v", err)
 	}
-	table3 := filtermap.RenderTable3(outcomes)
+	table3 := filtermap.Reporter{}.Table3(outcomes)
 	for _, cell := range []string{"5/5", "5/6", "6/6", "0/3", "0/5", "Bayanat Al-Oula (AS 48237)"} {
 		if !strings.Contains(table3, cell) {
 			t.Errorf("table 3 missing %q:\n%s", cell, table3)
@@ -48,12 +48,12 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunCharacterization: %v", err)
 	}
-	table4 := filtermap.RenderTable4(chRep)
+	table4 := filtermap.Reporter{}.Table4(chRep)
 	if !strings.Contains(table4, "McAfee SmartFilter") || !strings.Contains(table4, "Netsweeper") {
 		t.Fatalf("table 4 = %s", table4)
 	}
 
-	table1 := filtermap.RenderTable1()
+	table1 := filtermap.Reporter{}.Table1()
 	if !strings.Contains(table1, "Guelph, ON, Canada") {
 		t.Fatal("table 1 missing Netsweeper HQ")
 	}

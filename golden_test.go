@@ -61,7 +61,7 @@ func compareGolden(t *testing.T, name, got string) {
 }
 
 func TestGoldenTable1(t *testing.T) {
-	compareGolden(t, "table1.golden", filtermap.RenderTable1())
+	compareGolden(t, "table1.golden", filtermap.Reporter{}.Table1())
 }
 
 func TestGoldenTable2(t *testing.T) {
@@ -86,7 +86,7 @@ func TestGoldenTable3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	compareGolden(t, "table3.golden", filtermap.RenderTable3(outcomes))
+	compareGolden(t, "table3.golden", filtermap.Reporter{}.Table3(outcomes))
 }
 
 func TestGoldenFigure1(t *testing.T) {
@@ -99,7 +99,7 @@ func TestGoldenFigure1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := filtermap.RenderFigure1(rep) + "\n" + filtermap.RenderInstallations(rep)
+	got := filtermap.Reporter{}.Figure1(rep) + "\n" + filtermap.Reporter{}.Installations(rep)
 	compareGolden(t, "figure1.golden", got)
 }
 
@@ -114,6 +114,6 @@ func TestGoldenTable4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := filtermap.RenderTable4(reports) + "\n(cells reconstructed from §5 prose; see EXPERIMENTS.md)"
+	got := filtermap.Reporter{}.Table4(reports) + "\n(cells reconstructed from §5 prose; see EXPERIMENTS.md)"
 	compareGolden(t, "table4.golden", got)
 }

@@ -26,6 +26,10 @@ type Run struct {
 	// Global and Local are the testing lists (§5).
 	Global urllist.List
 	Local  urllist.List
+	// Extra holds additional lists to measure after the curated pair —
+	// e.g. the synthetic "discovered" list a discovery crawl produced.
+	// Blocked entries keep their list name in FromList.
+	Extra []urllist.List
 	// Client is the dual-vantage measurement client for this country.
 	Client *measurement.Client
 }
@@ -104,14 +108,13 @@ func Characterize(ctx context.Context, run Run) *Report {
 		ASN:         run.ASN,
 		blockedCats: make(map[string]map[string]bool),
 	}
-	for _, src := range []struct {
-		list urllist.List
-	}{{run.Global}, {run.Local}} {
-		byURL := make(map[string]urllist.Entry, len(src.list.Entries))
-		for _, e := range src.list.Entries {
+	lists := append([]urllist.List{run.Global, run.Local}, run.Extra...)
+	for _, list := range lists {
+		byURL := make(map[string]urllist.Entry, len(list.Entries))
+		for _, e := range list.Entries {
 			byURL[e.URL] = e
 		}
-		results := run.Client.TestList(ctx, src.list.URLs())
+		results := run.Client.TestList(ctx, list.URLs())
 		rep.Results = append(rep.Results, results...)
 		for _, res := range results {
 			if res.Verdict != measurement.Blocked || !res.Matched {
@@ -122,7 +125,7 @@ func Characterize(ctx context.Context, run Run) *Report {
 				Entry:    e,
 				Product:  res.BlockMatch.Product,
 				Pattern:  res.BlockMatch.Pattern,
-				FromList: src.list.Name,
+				FromList: list.Name,
 			})
 			if rep.blockedCats[res.BlockMatch.Product] == nil {
 				rep.blockedCats[res.BlockMatch.Product] = make(map[string]bool)

@@ -1,0 +1,317 @@
+// Package discovery implements search-based blocked-URL discovery: an
+// iterative frontier crawler in the style of FilteredWeb (Darer et al.,
+// TMA 2017) layered over the paper's measurement machinery.
+//
+// The §5 characterization only measures curated URL lists, so it can
+// never surface blocked content the curators did not think of. Discovery
+// closes that gap: it seeds a frontier from the curated lists, probes
+// every candidate through the dual-vantage measurement client (field +
+// lab), classifies responses with the block-page corpus, and — for pages
+// the lab can see — extracts hyperlinks and content keywords to generate
+// the next round's candidates. Candidates are scored by keyword affinity,
+// deduplicated against everything ever enqueued, and capped by a round
+// count and a total probe budget.
+//
+// Determinism: candidates are probed through engine.MapResults (in-order
+// results), each round's new candidates are sorted by (score desc, URL
+// asc) before entering the frontier, and link extraction is pure string
+// processing — given a fixed world seed the crawl replays byte-for-byte.
+package discovery
+
+import (
+	"context"
+	"net/url"
+	"sort"
+	"strings"
+
+	"filtermap/internal/engine"
+	"filtermap/internal/measurement"
+)
+
+// StageDiscover names the probe fan-out stage in the engine.Stats
+// registry.
+const StageDiscover = "discover"
+
+// Defaults for the zero-value Crawler.
+const (
+	// DefaultRounds bounds crawl depth: round 1 probes the seeds, each
+	// later round probes links harvested from the round before.
+	DefaultRounds = 3
+	// DefaultBudget bounds total probes across all rounds (each probe is
+	// two fetches: field + lab).
+	DefaultBudget = 150
+)
+
+// Prober measures one URL from both vantages. *measurement.Client
+// implements it; tests substitute stubs.
+type Prober interface {
+	TestURL(ctx context.Context, rawurl string) measurement.Result
+}
+
+// Crawler is one discovery run's configuration.
+type Crawler struct {
+	// Prober performs the dual-vantage measurements.
+	Prober Prober
+	// Curated holds every domain appearing on a curated testing list;
+	// blocked URLs outside it are marked Novel — the crawler's yield.
+	Curated map[string]bool
+	// Categorize maps a domain to its research-category code ("" when
+	// unknown). The simulation wires this to the content directory; real
+	// deployments would wire a topic classifier.
+	Categorize func(domain string) string
+	// Rounds and Budget cap the crawl (0 = DefaultRounds/DefaultBudget).
+	Rounds int
+	Budget int
+	// Config carries the shared execution knobs for the probe fan-out.
+	Config engine.Config
+}
+
+// Candidate is one frontier entry.
+type Candidate struct {
+	URL string
+	// Source is the page that linked the candidate ("" for seeds).
+	Source string
+	// Score orders the frontier: keyword hits in the URL and on the
+	// linking page (see score()).
+	Score int
+}
+
+// Finding is one blocked URL the crawl observed.
+type Finding struct {
+	URL     string `json:"url"`
+	Domain  string `json:"domain"`
+	Product string `json:"product"`
+	Pattern string `json:"pattern"`
+	// Category is the research-category code of the domain's content
+	// (empty when the categorizer does not know the domain).
+	Category string `json:"category,omitempty"`
+	// Source is the page whose link led here ("" for seed URLs).
+	Source string `json:"source,omitempty"`
+	// Round is the crawl round (1-based) that probed the URL.
+	Round int `json:"round"`
+	// Novel marks URLs absent from every curated list — the content the
+	// seed lists miss.
+	Novel bool `json:"novel"`
+}
+
+// RoundStat summarizes one crawl round.
+type RoundStat struct {
+	Round         int `json:"round"`
+	Probed        int `json:"probed"`
+	Blocked       int `json:"blocked"`
+	Accessible    int `json:"accessible"`
+	NewCandidates int `json:"new_candidates"`
+}
+
+// Report is the outcome of one crawl.
+type Report struct {
+	// Seeds is the number of seed URLs the frontier started from.
+	Seeds int `json:"seeds"`
+	// Probed counts URLs measured across all rounds.
+	Probed int `json:"probed"`
+	// BudgetExhausted reports whether the probe budget cut the crawl
+	// short (candidates remained unprobed).
+	BudgetExhausted bool `json:"budget_exhausted"`
+	// Rounds holds per-round statistics in order.
+	Rounds []RoundStat `json:"rounds"`
+	// Findings holds every blocked URL in discovery order (round, then
+	// frontier order).
+	Findings []Finding `json:"findings"`
+}
+
+// Novel returns the findings absent from every curated list.
+func (r *Report) Novel() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Novel {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (c *Crawler) rounds() int {
+	if c.Rounds > 0 {
+		return c.Rounds
+	}
+	return DefaultRounds
+}
+
+func (c *Crawler) budget() int {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	return DefaultBudget
+}
+
+// engineConfig resolves the probe pool: the prober bounds each fetch
+// itself, so the engine adds no per-item timeout.
+func (c *Crawler) engineConfig() engine.Config {
+	cfg := c.Config
+	cfg.Workers = cfg.WorkersOr(measurement.DefaultMeasureWorkers)
+	cfg.Timeout = 0
+	return cfg
+}
+
+// Crawl runs the frontier loop from the given seeds.
+func (c *Crawler) Crawl(ctx context.Context, seeds []string) *Report {
+	rep := &Report{}
+	budget := c.budget()
+
+	seen := make(map[string]bool)
+	var frontier []Candidate
+	for _, s := range seeds {
+		u := normalizeURL(s, "")
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		frontier = append(frontier, Candidate{URL: u})
+	}
+	rep.Seeds = len(frontier)
+
+	for round := 1; round <= c.rounds() && len(frontier) > 0; round++ {
+		if budget <= 0 {
+			rep.BudgetExhausted = true
+			break
+		}
+		batch := frontier
+		if len(batch) > budget {
+			batch = batch[:budget]
+			rep.BudgetExhausted = true
+		}
+		frontier = nil
+		budget -= len(batch)
+
+		results := engine.MapResults(ctx, c.engineConfig(), StageDiscover, batch,
+			func(ctx context.Context, cand Candidate) (measurement.Result, error) {
+				return c.Prober.TestURL(ctx, cand.URL), nil
+			})
+
+		stat := RoundStat{Round: round}
+		var next []Candidate
+		for i, r := range results {
+			if r.Err != nil {
+				// Only cancellation produces an error; drop the item.
+				continue
+			}
+			cand := batch[i]
+			res := r.Value
+			stat.Probed++
+			switch res.Verdict {
+			case measurement.Blocked:
+				stat.Blocked++
+				if res.Matched {
+					domain := domainOf(cand.URL)
+					rep.Findings = append(rep.Findings, Finding{
+						URL:      cand.URL,
+						Domain:   domain,
+						Product:  res.BlockMatch.Product,
+						Pattern:  res.BlockMatch.Pattern,
+						Category: c.categorize(domain),
+						Source:   cand.Source,
+						Round:    round,
+						Novel:    !c.Curated[domain],
+					})
+				}
+			case measurement.Accessible:
+				stat.Accessible++
+			}
+			// Expand through the lab's view of the page: the lab vantage is
+			// uncensored, so even blocked pages yield their real outlinks
+			// (the field saw only a block page).
+			body := labBody(res)
+			if body == "" {
+				continue
+			}
+			pageKWs := extractKeywords(body)
+			for _, link := range extractLinks(body, cand.URL) {
+				if seen[link] {
+					continue
+				}
+				seen[link] = true
+				next = append(next, Candidate{
+					URL:    link,
+					Source: cand.URL,
+					Score:  score(link, pageKWs),
+				})
+			}
+		}
+		stat.NewCandidates = len(next)
+		rep.Probed += stat.Probed
+		rep.Rounds = append(rep.Rounds, stat)
+
+		sort.SliceStable(next, func(i, j int) bool {
+			if next[i].Score != next[j].Score {
+				return next[i].Score > next[j].Score
+			}
+			return next[i].URL < next[j].URL
+		})
+		frontier = next
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if len(frontier) > 0 && budget <= 0 {
+		rep.BudgetExhausted = true
+	}
+	return rep
+}
+
+func (c *Crawler) categorize(domain string) string {
+	if c.Categorize == nil {
+		return ""
+	}
+	return c.Categorize(domain)
+}
+
+// labBody returns the final lab response body when the lab loaded the
+// page, falling back to the field body when only the field succeeded.
+func labBody(res measurement.Result) string {
+	if res.Lab.OK() {
+		if final := res.Lab.Final(); final != nil {
+			return string(final.Body)
+		}
+	}
+	if res.Field.OK() {
+		if final := res.Field.Final(); final != nil {
+			return string(final.Body)
+		}
+	}
+	return ""
+}
+
+// normalizeURL canonicalizes a candidate: resolve against the linking
+// page, require http, lowercase the host, default the path to "/", and
+// drop fragments/queries (one probe per page).
+func normalizeURL(raw, base string) string {
+	u, err := url.Parse(strings.TrimSpace(raw))
+	if err != nil {
+		return ""
+	}
+	if base != "" {
+		b, err := url.Parse(base)
+		if err != nil {
+			return ""
+		}
+		u = b.ResolveReference(u)
+	}
+	if u.Scheme != "http" || u.Host == "" {
+		return ""
+	}
+	u.Host = strings.ToLower(u.Host)
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	u.RawQuery = ""
+	u.Fragment = ""
+	return u.String()
+}
+
+func domainOf(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}

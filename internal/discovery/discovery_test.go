@@ -1,0 +1,236 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"filtermap/internal/blockpage"
+	"filtermap/internal/engine"
+	"filtermap/internal/httpwire"
+	"filtermap/internal/measurement"
+)
+
+// stubProber serves a fixed synthetic web: pages holds every reachable
+// URL's lab-view body, blocked marks the URLs the field vantage cannot
+// load. Unknown URLs are unreachable from both vantages.
+type stubProber struct {
+	pages   map[string]string
+	blocked map[string]bool
+
+	mu    sync.Mutex
+	calls []string
+}
+
+func (s *stubProber) TestURL(_ context.Context, rawurl string) measurement.Result {
+	s.mu.Lock()
+	s.calls = append(s.calls, rawurl)
+	s.mu.Unlock()
+
+	res := measurement.Result{URL: rawurl}
+	body, ok := s.pages[rawurl]
+	if !ok {
+		res.Verdict = measurement.Unreachable
+		res.Field.Err = errors.New("no route")
+		res.Lab.Err = errors.New("no route")
+		return res
+	}
+	page := httpwire.NewResponse(200, httpwire.NewHeader("Content-Type", "text/html"), []byte(body))
+	res.Lab = measurement.Fetch{Chain: []*httpwire.Response{page}}
+	if s.blocked[rawurl] {
+		res.Verdict = measurement.Blocked
+		res.Matched = true
+		res.BlockMatch = blockpage.Match{Product: "StubFilter", Pattern: "stub block page"}
+		deny := httpwire.NewResponse(403, httpwire.NewHeader("Content-Type", "text/html"), []byte("denied"))
+		res.Field = measurement.Fetch{Chain: []*httpwire.Response{deny}}
+		return res
+	}
+	res.Verdict = measurement.Accessible
+	res.Field = measurement.Fetch{Chain: []*httpwire.Response{page}}
+	return res
+}
+
+func (s *stubProber) probed() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.calls...)
+	sort.Strings(out)
+	return out
+}
+
+// web is a three-hop synthetic site graph: a curated hub links a hidden
+// directory, which links two blocked leaves.
+func web() *stubProber {
+	return &stubProber{
+		pages: map[string]string{
+			"http://hub.example/":             `<p>keywords: proxy, tools</p><a href="http://directory.example/">dir</a>`,
+			"http://directory.example/":       `<a href="http://blocked-leaf.example/">a</a> <a href="http://open-leaf.example/">b</a>`,
+			"http://blocked-leaf.example/":    `<p>no further links</p>`,
+			"http://open-leaf.example/":       `<p>leaf</p>`,
+			"http://curated-blocked.example/": `<p>on the list</p>`,
+		},
+		blocked: map[string]bool{
+			"http://blocked-leaf.example/":    true,
+			"http://curated-blocked.example/": true,
+		},
+	}
+}
+
+func crawler(p Prober) *Crawler {
+	return &Crawler{
+		Prober:  p,
+		Curated: map[string]bool{"hub.example": true, "curated-blocked.example": true},
+		Categorize: func(domain string) string {
+			if domain == "blocked-leaf.example" {
+				return "proxy-tools"
+			}
+			return ""
+		},
+	}
+}
+
+func TestCrawlFindsLinkedBlockedURLs(t *testing.T) {
+	p := web()
+	rep := crawler(p).Crawl(context.Background(),
+		[]string{"http://hub.example/", "http://curated-blocked.example/"})
+
+	if rep.Seeds != 2 {
+		t.Fatalf("Seeds = %d, want 2", rep.Seeds)
+	}
+	if rep.Probed != 5 {
+		t.Fatalf("Probed = %d, want 5 (2 seeds + directory + 2 leaves)", rep.Probed)
+	}
+	if rep.BudgetExhausted {
+		t.Fatal("BudgetExhausted on an unbounded crawl")
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("Findings = %+v, want 2", rep.Findings)
+	}
+	curated, leaf := rep.Findings[0], rep.Findings[1]
+	if curated.URL != "http://curated-blocked.example/" || curated.Novel {
+		t.Fatalf("curated finding = %+v, want non-novel curated-blocked.example", curated)
+	}
+	if leaf.URL != "http://blocked-leaf.example/" || !leaf.Novel {
+		t.Fatalf("leaf finding = %+v, want novel blocked-leaf.example", leaf)
+	}
+	if leaf.Source != "http://directory.example/" || leaf.Round != 3 {
+		t.Fatalf("leaf provenance = source %q round %d, want directory.example round 3", leaf.Source, leaf.Round)
+	}
+	if leaf.Category != "proxy-tools" || leaf.Product != "StubFilter" {
+		t.Fatalf("leaf attribution = %q/%q", leaf.Category, leaf.Product)
+	}
+	if got := len(rep.Novel()); got != 1 {
+		t.Fatalf("Novel() = %d findings, want 1", got)
+	}
+	wantRounds := []RoundStat{
+		{Round: 1, Probed: 2, Blocked: 1, Accessible: 1, NewCandidates: 1},
+		{Round: 2, Probed: 1, Blocked: 0, Accessible: 1, NewCandidates: 2},
+		{Round: 3, Probed: 2, Blocked: 1, Accessible: 1, NewCandidates: 0},
+	}
+	if !reflect.DeepEqual(rep.Rounds, wantRounds) {
+		t.Fatalf("Rounds = %+v, want %+v", rep.Rounds, wantRounds)
+	}
+}
+
+func TestCrawlDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Report {
+		c := crawler(web())
+		c.Config = engine.NewConfig(engine.WithWorkers(workers))
+		return c.Crawl(context.Background(),
+			[]string{"http://hub.example/", "http://curated-blocked.example/"})
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d report diverged:\n%+v\nvs\n%+v", workers, got, serial)
+		}
+	}
+}
+
+func TestCrawlRespectsBudget(t *testing.T) {
+	p := web()
+	c := crawler(p)
+	c.Budget = 2
+	rep := c.Crawl(context.Background(),
+		[]string{"http://hub.example/", "http://curated-blocked.example/"})
+	if rep.Probed != 2 {
+		t.Fatalf("Probed = %d, want 2", rep.Probed)
+	}
+	if !rep.BudgetExhausted {
+		t.Fatal("BudgetExhausted = false with candidates left unprobed")
+	}
+	if len(p.probed()) != 2 {
+		t.Fatalf("prober saw %d URLs, want 2", len(p.probed()))
+	}
+}
+
+func TestCrawlRespectsRoundCap(t *testing.T) {
+	c := crawler(web())
+	c.Rounds = 2
+	rep := c.Crawl(context.Background(), []string{"http://hub.example/"})
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("ran %d rounds, want 2", len(rep.Rounds))
+	}
+	// The blocked leaf is three hops in, so a two-round crawl misses it.
+	if len(rep.Findings) != 0 {
+		t.Fatalf("Findings = %+v, want none within 2 rounds", rep.Findings)
+	}
+}
+
+func TestCrawlProbesEachURLOnce(t *testing.T) {
+	p := web()
+	// Two seeds both link the directory; the second page repeats a link.
+	p.pages["http://hub2.example/"] = `<a href="http://directory.example/">dir</a> <a href="http://directory.example/">again</a>`
+	c := crawler(p)
+	c.Crawl(context.Background(), []string{
+		"http://hub.example/", "http://hub2.example/", "http://hub.example/",
+	})
+	calls := p.probed()
+	for i := 1; i < len(calls); i++ {
+		if calls[i] == calls[i-1] {
+			t.Fatalf("URL %q probed more than once", calls[i])
+		}
+	}
+}
+
+func TestNormalizeURL(t *testing.T) {
+	tests := []struct {
+		raw, base, want string
+	}{
+		{"http://Site.Example/Path", "", "http://site.example/Path"},
+		{"http://site.example", "", "http://site.example/"},
+		{"http://site.example/p?q=1#frag", "", "http://site.example/p"},
+		{"/about", "http://site.example/index", "http://site.example/about"},
+		{"next.html", "http://site.example/dir/index", "http://site.example/dir/next.html"},
+		{"https://secure.example/", "", ""},
+		{"mailto:someone@example.org", "", ""},
+		{"   http://site.example/  ", "", "http://site.example/"},
+		{"http://", "", ""},
+	}
+	for _, tc := range tests {
+		if got := normalizeURL(tc.raw, tc.base); got != tc.want {
+			t.Errorf("normalizeURL(%q, %q) = %q, want %q", tc.raw, tc.base, got, tc.want)
+		}
+	}
+}
+
+func TestExtractKeywordsRestrictedToVocabulary(t *testing.T) {
+	body := `<p class="keywords">keywords: proxy, tools, unrelatedword, rights</p>`
+	got := extractKeywords(body)
+	want := []string{"proxy", "tools", "rights"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extractKeywords = %v, want %v", got, want)
+	}
+}
+
+func TestScorePrefersVocabularyURLs(t *testing.T) {
+	kws := extractKeywords("keywords: proxy")
+	topical := score("http://proxy-tools.example/", kws)
+	neutral := score("http://weather.example/", nil)
+	if topical <= neutral {
+		t.Fatalf("score(topical)=%d <= score(neutral)=%d", topical, neutral)
+	}
+}

@@ -1,0 +1,118 @@
+package discovery
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+
+	"filtermap/internal/urllist"
+)
+
+// This file is the candidate-generation half of the crawler: pull
+// hyperlinks and content keywords out of fetched HTML and score candidate
+// URLs by their affinity to the research-category vocabulary. Everything
+// is pure string processing over fixed tables, so extraction is
+// deterministic.
+
+var (
+	hrefRe    = regexp.MustCompile(`(?i)href="([^"]+)"`)
+	keywordRe = regexp.MustCompile(`(?i)keywords:\s*([^<]+)`)
+)
+
+// extractLinks returns the normalized, deduplicated candidate URLs a
+// page links to, in document order.
+func extractLinks(body, base string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, m := range hrefRe.FindAllStringSubmatch(body, -1) {
+		u := normalizeURL(m[1], base)
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	return out
+}
+
+// extractKeywords returns the page's declared content keywords (the
+// "keywords: ..." line the synthetic sites render) restricted to the
+// research vocabulary.
+func extractKeywords(body string) []string {
+	m := keywordRe.FindStringSubmatch(body)
+	if m == nil {
+		return nil
+	}
+	vocab := vocabulary()
+	var out []string
+	for _, kw := range strings.Split(m[1], ",") {
+		kw = strings.ToLower(strings.TrimSpace(kw))
+		if kw != "" && vocab[kw] {
+			out = append(out, kw)
+		}
+	}
+	return out
+}
+
+// score ranks a candidate: tokens of its URL that appear in the research
+// vocabulary count double (the URL names its own content), keywords on
+// the linking page count once (topical pages link topical content).
+func score(candURL string, pageKeywords []string) int {
+	vocab := vocabulary()
+	s := 1
+	for _, tok := range urlTokens(candURL) {
+		if vocab[tok] {
+			s += 2
+		}
+	}
+	for _, kw := range pageKeywords {
+		if vocab[kw] {
+			s++
+		}
+	}
+	return s
+}
+
+// urlTokens splits a URL's host and path into lowercase tokens.
+func urlTokens(rawurl string) []string {
+	var out []string
+	var cur []byte
+	flush := func() {
+		if len(cur) >= 3 {
+			out = append(out, string(cur))
+		}
+		cur = cur[:0]
+	}
+	for i := 0; i < len(rawurl); i++ {
+		ch := rawurl[i]
+		switch {
+		case ch >= 'a' && ch <= 'z' || ch >= '0' && ch <= '9':
+			cur = append(cur, ch)
+		case ch >= 'A' && ch <= 'Z':
+			cur = append(cur, ch+('a'-'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+var (
+	vocabOnce sync.Once
+	vocabSet  map[string]bool
+)
+
+// vocabulary is the research-category token set: every token of every
+// category code and name in the §5 scheme.
+func vocabulary() map[string]bool {
+	vocabOnce.Do(func() {
+		vocabSet = make(map[string]bool)
+		for _, c := range urllist.Categories() {
+			for _, tok := range urllist.CategoryKeywords(c.Code) {
+				vocabSet[tok] = true
+			}
+		}
+	})
+	return vocabSet
+}

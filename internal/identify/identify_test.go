@@ -85,7 +85,7 @@ func newFixture(t *testing.T) *fixture {
 	wsrv := &geo.WhoisServer{Table: asTable}
 	go wsrv.Serve(wl) //nolint:errcheck // ends with listener
 
-	sc := &scanner.Scanner{Vantage: vantage, Timeout: 2 * time.Second}
+	sc := scanner.New(vantage, engine.WithTimeout(2*time.Second))
 	index, err := sc.ScanNetwork(context.Background())
 	if err != nil {
 		t.Fatal(err)

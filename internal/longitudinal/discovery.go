@@ -1,0 +1,165 @@
+package longitudinal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"filtermap/internal/engine"
+	"filtermap/internal/report"
+)
+
+// This file diffs "discovery" snapshots (bodies are report.DiscoveryDoc):
+// how the crawl-discovered blocked-URL set drifts between two runs, both
+// per target and in the aggregated synthetic "discovered" list.
+
+// DiscoveryDiff is discovery drift between two snapshots.
+type DiscoveryDiff struct {
+	FromTargets int `json:"from_targets"`
+	ToTargets   int `json:"to_targets"`
+	// AddedDiscovered/RemovedDiscovered are synthetic-list entries present
+	// on only one side, sorted by URL.
+	AddedDiscovered   []report.DiscoveredURLDoc `json:"added_discovered,omitempty"`
+	RemovedDiscovered []report.DiscoveredURLDoc `json:"removed_discovered,omitempty"`
+	// Targets lists per-target novel-URL churn (targets present on both
+	// sides with an unchanged novel set are omitted).
+	Targets []DiscoveryTargetChange `json:"targets,omitempty"`
+}
+
+// DiscoveryTargetChange is one target's novel-finding drift.
+type DiscoveryTargetChange struct {
+	Country string `json:"country"`
+	ISP     string `json:"isp"`
+	ASN     int    `json:"asn"`
+	// NewlyFound/NoLongerFound are novel blocked URLs seen on only one
+	// side, sorted.
+	NewlyFound    []string `json:"newly_found,omitempty"`
+	NoLongerFound []string `json:"no_longer_found,omitempty"`
+}
+
+func decodeDiscovery(body json.RawMessage) (*report.DiscoveryDoc, error) {
+	var doc report.DiscoveryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("longitudinal: decode discovery snapshot: %w", err)
+	}
+	return &doc, nil
+}
+
+func novelURLs(t report.DiscoveryTargetDoc) []string {
+	var out []string
+	for _, f := range t.Findings {
+		if f.Novel {
+			out = append(out, f.URL)
+		}
+	}
+	return out
+}
+
+func (e *Engine) diffDiscovery(ctx context.Context, fromBody, toBody json.RawMessage) (*DiscoveryDiff, error) {
+	fromDoc, err := decodeDiscovery(fromBody)
+	if err != nil {
+		return nil, err
+	}
+	toDoc, err := decodeDiscovery(toBody)
+	if err != nil {
+		return nil, err
+	}
+	targetKey := func(t report.DiscoveryTargetDoc) string {
+		return fmt.Sprintf("%s\x00%s\x00%d", t.Country, t.ISP, t.ASN)
+	}
+	fromTargets := make(map[string]report.DiscoveryTargetDoc, len(fromDoc.Targets))
+	for _, t := range fromDoc.Targets {
+		fromTargets[targetKey(t)] = t
+	}
+	toTargets := make(map[string]report.DiscoveryTargetDoc, len(toDoc.Targets))
+	for _, t := range toDoc.Targets {
+		toTargets[targetKey(t)] = t
+	}
+	keys := unionKeys(countKeys(fromTargets), countKeys(toTargets))
+
+	changes, err := engine.Map(ctx, e.Config, StageDiffDiscovery, keys, func(_ context.Context, k string) (*DiscoveryTargetChange, error) {
+		f, inFrom := fromTargets[k]
+		t, inTo := toTargets[k]
+		ref := t
+		if !inTo {
+			ref = f
+		}
+		c := &DiscoveryTargetChange{Country: ref.Country, ISP: ref.ISP, ASN: ref.ASN}
+		c.NewlyFound = setMinus(novelURLs(t), novelURLs(f))
+		c.NoLongerFound = setMinus(novelURLs(f), novelURLs(t))
+		if inFrom && inTo && len(c.NewlyFound) == 0 && len(c.NoLongerFound) == 0 {
+			return nil, nil
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &DiscoveryDiff{FromTargets: len(fromDoc.Targets), ToTargets: len(toDoc.Targets)}
+	for _, c := range changes {
+		if c != nil {
+			d.Targets = append(d.Targets, *c)
+		}
+	}
+	d.AddedDiscovered = discoveredMinus(toDoc.Discovered, fromDoc.Discovered)
+	d.RemovedDiscovered = discoveredMinus(fromDoc.Discovered, toDoc.Discovered)
+	return d, nil
+}
+
+// countKeys adapts a target map's key set to unionKeys' map[string]int.
+func countKeys(m map[string]report.DiscoveryTargetDoc) map[string]int {
+	out := make(map[string]int, len(m))
+	for k := range m {
+		out[k] = 1
+	}
+	return out
+}
+
+// discoveredMinus returns members of a (by URL) not in b, sorted by URL.
+func discoveredMinus(a, b []report.DiscoveredURLDoc) []report.DiscoveredURLDoc {
+	in := make(map[string]bool, len(b))
+	for _, e := range b {
+		in[e.URL] = true
+	}
+	var out []report.DiscoveredURLDoc
+	for _, e := range a {
+		if !in[e.URL] {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+func (d *DiscoveryDiff) render(b *strings.Builder) {
+	fmt.Fprintf(b, "Discovered blocked URLs: %d added, %d removed (%d -> %d targets)\n",
+		len(d.AddedDiscovered), len(d.RemovedDiscovered), d.FromTargets, d.ToTargets)
+	discCell := func(e report.DiscoveredURLDoc) []string {
+		return []string{e.URL, orDash(e.Category)}
+	}
+	if len(d.AddedDiscovered) > 0 {
+		t := &report.Table{Title: "\nNewly discovered:", Headers: []string{"URL", "Category"}}
+		for _, e := range d.AddedDiscovered {
+			t.AddRow(discCell(e)...)
+		}
+		b.WriteString(t.String())
+	}
+	if len(d.RemovedDiscovered) > 0 {
+		t := &report.Table{Title: "\nNo longer discovered:", Headers: []string{"URL", "Category"}}
+		for _, e := range d.RemovedDiscovered {
+			t.AddRow(discCell(e)...)
+		}
+		b.WriteString(t.String())
+	}
+	if len(d.Targets) > 0 {
+		t := &report.Table{Title: "\nPer-target novel-URL churn:", Headers: []string{"ISP", "CC", "AS", "Newly found", "No longer found"}}
+		for _, c := range d.Targets {
+			t.AddRow(c.ISP, c.Country, fmt.Sprintf("AS%d", c.ASN),
+				orDash(strings.Join(c.NewlyFound, ",")), orDash(strings.Join(c.NoLongerFound, ",")))
+		}
+		b.WriteString(t.String())
+	}
+}

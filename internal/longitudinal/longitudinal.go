@@ -38,15 +38,17 @@ import (
 
 // Snapshot kinds this package understands.
 const (
-	KindIdentify = "identify"
-	KindTable4   = "table4"
+	KindIdentify  = "identify"
+	KindTable4    = "table4"
+	KindDiscovery = "discovery"
 )
 
 // Engine stage names (visible in engine Stats / fmserve metrics).
 const (
-	StageDiffInstalls = "diff-installs"
-	StageDiffMatrix   = "diff-matrix"
-	StageTimeline     = "timeline"
+	StageDiffInstalls  = "diff-installs"
+	StageDiffMatrix    = "diff-matrix"
+	StageDiffDiscovery = "diff-discovery"
+	StageTimeline      = "timeline"
 )
 
 // Input is one snapshot to analyze: its store metadata plus the raw body.
@@ -82,12 +84,13 @@ func New(opts ...engine.Option) *Engine {
 // ---- diff documents ----
 
 // Diff is the churn between two snapshots of the same kind. Exactly one
-// of Installs and Matrix is set, matching the snapshot kind.
+// of Installs, Matrix and Discovery is set, matching the snapshot kind.
 type Diff struct {
-	From     SnapRef      `json:"from"`
-	To       SnapRef      `json:"to"`
-	Installs *InstallDiff `json:"installs,omitempty"`
-	Matrix   *MatrixDiff  `json:"matrix,omitempty"`
+	From      SnapRef        `json:"from"`
+	To        SnapRef        `json:"to"`
+	Installs  *InstallDiff   `json:"installs,omitempty"`
+	Matrix    *MatrixDiff    `json:"matrix,omitempty"`
+	Discovery *DiscoveryDiff `json:"discovery,omitempty"`
 }
 
 // InstallDiff is identification churn: the §3 installation set compared
@@ -204,6 +207,12 @@ func (e *Engine) Diff(ctx context.Context, from, to Input) (*Diff, error) {
 			return nil, err
 		}
 		d.Matrix = md
+	case KindDiscovery:
+		dd, err := e.diffDiscovery(ctx, from.Body, to.Body)
+		if err != nil {
+			return nil, err
+		}
+		d.Discovery = dd
 	default:
 		return nil, fmt.Errorf("longitudinal: unsupported snapshot kind %q", from.Meta.Kind)
 	}

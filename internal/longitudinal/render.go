@@ -31,6 +31,10 @@ func (d *Diff) Render() string {
 		b.WriteByte('\n')
 		d.Matrix.render(&b)
 	}
+	if d.Discovery != nil {
+		b.WriteByte('\n')
+		d.Discovery.render(&b)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"filtermap/internal/discovery"
+	"filtermap/internal/engine"
+	"filtermap/internal/urllist"
+)
+
+// DiscoveryTarget pairs one characterization target's identity with its
+// crawl report. It mirrors world.TargetDiscovery without importing the
+// world package (report stays a pure rendering layer).
+type DiscoveryTarget struct {
+	Country string
+	ISP     string
+	ASN     int
+	Report  *discovery.Report
+}
+
+// effectiveCaps resolves zero crawl caps to the discovery defaults, so
+// every renderer prints the caps the crawl actually ran under.
+func effectiveCaps(rounds, budget int) (int, int) {
+	if rounds <= 0 {
+		rounds = discovery.DefaultRounds
+	}
+	if budget <= 0 {
+		budget = discovery.DefaultBudget
+	}
+	return rounds, budget
+}
+
+// Discovery renders the discovery crawl summary as text: per-target
+// totals, per-round detail, the novel blocked URLs the curated lists
+// miss, and the synthetic "discovered" list they assemble into. Zero
+// rounds/budget print as the discovery defaults.
+func Discovery(rounds, budget int, targets []DiscoveryTarget, discovered urllist.List) string {
+	rounds, budget = effectiveCaps(rounds, budget)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Discovery: crawl-based blocked-URL discovery (rounds=%d, budget=%d)\n", rounds, budget)
+
+	summary := &Table{
+		Headers: []string{"Target", "Seeds", "Probed", "Blocked", "Novel", "Budget exhausted"},
+	}
+	detail := &Table{
+		Title:   "Round detail",
+		Headers: []string{"Target", "Round", "Probed", "Blocked", "Accessible", "New candidates"},
+	}
+	novel := &Table{
+		Title:   "Novel blocked URLs (absent from every curated list)",
+		Headers: []string{"Target", "URL", "Category", "Product", "Round", "Via"},
+	}
+	for _, t := range targets {
+		label := fmt.Sprintf("%s (%s, AS %d)", t.ISP, t.Country, t.ASN)
+		rep := t.Report
+		blocked := 0
+		for _, r := range rep.Rounds {
+			blocked += r.Blocked
+			detail.AddRow(label,
+				fmt.Sprintf("%d", r.Round),
+				fmt.Sprintf("%d", r.Probed),
+				fmt.Sprintf("%d", r.Blocked),
+				fmt.Sprintf("%d", r.Accessible),
+				fmt.Sprintf("%d", r.NewCandidates),
+			)
+		}
+		exhausted := "no"
+		if rep.BudgetExhausted {
+			exhausted = "yes"
+		}
+		summary.AddRow(label,
+			fmt.Sprintf("%d", rep.Seeds),
+			fmt.Sprintf("%d", rep.Probed),
+			fmt.Sprintf("%d", blocked),
+			fmt.Sprintf("%d", len(rep.Novel())),
+			exhausted,
+		)
+		for _, f := range rep.Novel() {
+			via := f.Source
+			if via == "" {
+				via = "(seed)"
+			}
+			novel.AddRow(label, f.URL, f.Category, f.Product, fmt.Sprintf("%d", f.Round), via)
+		}
+	}
+	b.WriteString(summary.String())
+	b.WriteByte('\n')
+	b.WriteString(detail.String())
+	b.WriteByte('\n')
+	b.WriteString(novel.String())
+	fmt.Fprintf(&b, "\nDiscovered list: %d unique URLs under synthetic theme %q.\n",
+		len(discovered.Entries), urllist.ThemeDiscovered)
+	return b.String()
+}
+
+// DiscoveryDoc is the JSON rendering of a discovery run.
+type DiscoveryDoc struct {
+	// Rounds and Budget are the effective per-target crawl caps.
+	Rounds  int                  `json:"rounds"`
+	Budget  int                  `json:"budget"`
+	Targets []DiscoveryTargetDoc `json:"targets"`
+	// Discovered is the deduplicated, sorted synthetic "discovered" list
+	// assembled from the targets' novel findings.
+	Discovered []DiscoveredURLDoc `json:"discovered"`
+	// Stats optionally carries the engine's per-stage execution snapshot.
+	Stats *engine.Snapshot `json:"stats,omitempty"`
+}
+
+// DiscoveryTargetDoc is one target's crawl outcome.
+type DiscoveryTargetDoc struct {
+	Country         string                `json:"country"`
+	ISP             string                `json:"isp"`
+	ASN             int                   `json:"asn"`
+	Seeds           int                   `json:"seeds"`
+	Probed          int                   `json:"probed"`
+	BudgetExhausted bool                  `json:"budget_exhausted"`
+	Rounds          []DiscoveryRoundDoc   `json:"rounds"`
+	Findings        []DiscoveryFindingDoc `json:"findings"`
+}
+
+// DiscoveryRoundDoc is one crawl round's statistics.
+type DiscoveryRoundDoc struct {
+	Round         int `json:"round"`
+	Probed        int `json:"probed"`
+	Blocked       int `json:"blocked"`
+	Accessible    int `json:"accessible"`
+	NewCandidates int `json:"new_candidates"`
+}
+
+// DiscoveryFindingDoc is one blocked URL a crawl observed.
+type DiscoveryFindingDoc struct {
+	URL      string `json:"url"`
+	Domain   string `json:"domain"`
+	Product  string `json:"product"`
+	Pattern  string `json:"pattern"`
+	Category string `json:"category,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Round    int    `json:"round"`
+	Novel    bool   `json:"novel"`
+}
+
+// DiscoveredURLDoc is one entry of the synthetic "discovered" list.
+type DiscoveredURLDoc struct {
+	URL      string `json:"url"`
+	Domain   string `json:"domain"`
+	Category string `json:"category,omitempty"`
+}
+
+// DiscoveryJSON builds the discovery document. Zero rounds/budget are
+// recorded as the discovery defaults.
+func DiscoveryJSON(rounds, budget int, targets []DiscoveryTarget, discovered urllist.List) DiscoveryDoc {
+	rounds, budget = effectiveCaps(rounds, budget)
+	doc := DiscoveryDoc{Rounds: rounds, Budget: budget}
+	for _, t := range targets {
+		td := DiscoveryTargetDoc{
+			Country:         t.Country,
+			ISP:             t.ISP,
+			ASN:             t.ASN,
+			Seeds:           t.Report.Seeds,
+			Probed:          t.Report.Probed,
+			BudgetExhausted: t.Report.BudgetExhausted,
+		}
+		for _, r := range t.Report.Rounds {
+			td.Rounds = append(td.Rounds, DiscoveryRoundDoc(r))
+		}
+		for _, f := range t.Report.Findings {
+			td.Findings = append(td.Findings, DiscoveryFindingDoc{
+				URL:      f.URL,
+				Domain:   f.Domain,
+				Product:  f.Product,
+				Pattern:  f.Pattern,
+				Category: f.Category,
+				Source:   f.Source,
+				Round:    f.Round,
+				Novel:    f.Novel,
+			})
+		}
+		doc.Targets = append(doc.Targets, td)
+	}
+	for _, e := range discovered.Entries {
+		doc.Discovered = append(doc.Discovered, DiscoveredURLDoc{
+			URL:      e.URL,
+			Domain:   e.Domain,
+			Category: e.Category,
+		})
+	}
+	return doc
+}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"filtermap/internal/engine"
 	"filtermap/internal/httpwire"
 	"filtermap/internal/netsim"
 )
@@ -49,7 +50,7 @@ func fixture(t *testing.T) (*netsim.Network, *Scanner) {
 		t.Fatal(err)
 	}
 
-	return n, &Scanner{Vantage: vantage, Timeout: 2 * time.Second}
+	return n, New(vantage, engine.WithTimeout(2*time.Second))
 }
 
 func TestScanNetworkIndexesBanners(t *testing.T) {

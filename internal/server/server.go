@@ -10,6 +10,7 @@
 //	POST /v1/identify      §3 pipeline   (sync when cached; ?wait=1 blocks; else enqueues)
 //	POST /v1/confirm       §4 campaigns  (same dispatch)
 //	POST /v1/characterize  §5 runs       (same dispatch)
+//	POST /v1/discover      crawl-based blocked-URL discovery (same dispatch)
 //	POST /v1/jobs          submit a background job {kind, request}
 //	GET  /v1/jobs          list jobs
 //	GET  /v1/jobs/{id}     job state + result
@@ -45,6 +46,7 @@ import (
 	"filtermap/internal/report"
 	"filtermap/internal/scanner"
 	"filtermap/internal/store"
+	"filtermap/internal/version"
 	"filtermap/internal/world"
 )
 
@@ -53,6 +55,7 @@ const (
 	KindIdentify     = "identify"
 	KindConfirm      = "confirm"
 	KindCharacterize = "characterize"
+	KindDiscover     = "discover"
 )
 
 // Options configures a Server. The zero value serves the default world
@@ -168,6 +171,7 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	handle("POST /v1/identify", s.handleIdentify)
 	handle("POST /v1/confirm", s.handleConfirm)
 	handle("POST /v1/characterize", s.handleCharacterize)
+	handle("POST /v1/discover", s.handleDiscover)
 	handle("POST /v1/jobs", s.handleJobSubmit)
 	handle("GET /v1/jobs", s.handleJobList)
 	handle("GET /v1/jobs/{id}", s.handleJobGet)
@@ -337,6 +341,39 @@ func (r *CharacterizeRequest) normalize() error {
 	return nil
 }
 
+// DiscoverRequest parameterizes POST /v1/discover.
+type DiscoverRequest struct {
+	// ISPs restricts the crawl targets (empty = all confirmed
+	// deployments).
+	ISPs []string `json:"isps,omitempty"`
+	// Rounds and Budget cap each target's crawl (0 = discovery package
+	// defaults).
+	Rounds int `json:"rounds,omitempty"`
+	Budget int `json:"budget,omitempty"`
+	// World selects evasion scenarios for the run's world.
+	World WorldConfig `json:"world,omitempty"`
+}
+
+func (r *DiscoverRequest) normalize() error {
+	r.ISPs = sortDedupe(r.ISPs)
+	known := make(map[string]bool)
+	for _, t := range world.CharacterizationTargets() {
+		known[t.ISP] = true
+	}
+	for _, isp := range r.ISPs {
+		if !known[isp] {
+			return badRequestf("unknown discovery ISP %q", isp)
+		}
+	}
+	if r.Rounds < 0 {
+		return badRequestf("rounds must be >= 0, got %d", r.Rounds)
+	}
+	if r.Budget < 0 {
+		return badRequestf("budget must be >= 0, got %d", r.Budget)
+	}
+	return nil
+}
+
 func sortDedupe(in []string) []string {
 	if len(in) == 0 {
 		return nil
@@ -367,6 +404,8 @@ func worldConfigOf(req any) WorldConfig {
 	case *ConfirmRequest:
 		return r.World
 	case *CharacterizeRequest:
+		return r.World
+	case *DiscoverRequest:
 		return r.World
 	}
 	return WorldConfig{}
@@ -438,6 +477,8 @@ func (s *Server) execute(ctx context.Context, kind string, req any) ([]byte, err
 		doc, err = s.runConfirm(ctx, req.(*ConfirmRequest))
 	case KindCharacterize:
 		doc, err = s.runCharacterize(ctx, req.(*CharacterizeRequest))
+	case KindDiscover:
+		doc, err = s.runDiscover(ctx, req.(*DiscoverRequest))
 	default:
 		err = badRequestf("unknown kind %q", kind)
 	}
@@ -546,6 +587,36 @@ func (s *Server) runCharacterize(ctx context.Context, req *CharacterizeRequest) 
 	return report.Table4JSON(reports), nil
 }
 
+// runDiscover executes the discovery crawl on a fresh world positioned
+// like characterization (clock at +8h, Yemen license window active), so
+// results match fmdiscover and stay deterministic per request.
+func (s *Server) runDiscover(ctx context.Context, req *DiscoverRequest) (report.DiscoveryDoc, error) {
+	w, err := world.Build(req.World.options(s.opts.World), s.engOpts...)
+	if err != nil {
+		return report.DiscoveryDoc{}, err
+	}
+	defer w.Close()
+	w.Clock.Advance(8 * time.Hour)
+	targets, err := w.RunDiscovery(ctx, world.DiscoveryOptions{
+		ISPs:   req.ISPs,
+		Rounds: req.Rounds,
+		Budget: req.Budget,
+	})
+	if err != nil {
+		return report.DiscoveryDoc{}, err
+	}
+	return discoveryDoc(req.Rounds, req.Budget, targets), nil
+}
+
+// discoveryDoc builds the discovery document from world targets.
+func discoveryDoc(rounds, budget int, targets []world.TargetDiscovery) report.DiscoveryDoc {
+	rts := make([]report.DiscoveryTarget, 0, len(targets))
+	for _, t := range targets {
+		rts = append(rts, report.DiscoveryTarget{Country: t.Country, ISP: t.ISP, ASN: t.ASN, Report: t.Report})
+	}
+	return report.DiscoveryJSON(rounds, budget, rts, world.DiscoveredList(targets))
+}
+
 // ---- handlers ----
 
 func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
@@ -600,6 +671,18 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dispatch(w, r, KindCharacterize, &req)
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req DiscoverRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.dispatch(w, r, KindDiscover, &req)
 }
 
 // dispatch implements the pipeline endpoints' contract: synchronous when
@@ -700,6 +783,8 @@ func (s *Server) parseKindRequest(kind string, raw json.RawMessage) (any, error)
 		return req, nil
 	case KindCharacterize:
 		return unmarshal(&CharacterizeRequest{})
+	case KindDiscover:
+		return unmarshal(&DiscoverRequest{})
 	default:
 		return nil, badRequestf("unknown job kind %q", kind)
 	}
@@ -827,6 +912,7 @@ func (s *Server) maybeAttachStats(r *http.Request, val []byte) []byte {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"version":        version.String(),
 		"uptime_seconds": s.opts.now().Sub(s.metrics.startedAt).Seconds(),
 	})
 }

@@ -20,7 +20,8 @@ import (
 
 // snapshotRecordRequest is the POST /v1/snapshots body.
 type snapshotRecordRequest struct {
-	// Kind selects the pipeline: "identify" or "characterize".
+	// Kind selects the pipeline: "identify", "characterize" or
+	// "discover".
 	Kind string `json:"kind"`
 	// Note is a free-form annotation stored with the snapshot.
 	Note string `json:"note,omitempty"`
@@ -37,6 +38,8 @@ func storeKindFor(kind string) (string, error) {
 		return longitudinal.KindIdentify, nil
 	case KindCharacterize:
 		return longitudinal.KindTable4, nil
+	case KindDiscover:
+		return longitudinal.KindDiscovery, nil
 	case KindConfirm:
 		return "", badRequestf("confirmation campaigns are single-use timelines; snapshot %q or %q instead", KindIdentify, KindCharacterize)
 	default:

@@ -460,3 +460,81 @@ func BenchmarkAppendFsync(b *testing.B) {
 		}
 	}
 }
+
+// TestGetSelectorTable drives every selector form through one store:
+// sequence numbers, content-ID prefixes (including an ambiguous one),
+// "latest", and "latest:<kind>" across all three snapshot kinds.
+func TestGetSelectorTable(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Append rotating kinds until two content IDs share a first hex
+	// character, so the ambiguous-prefix case exists deterministically.
+	kinds := []string{"identify", "table4", "discovery"}
+	var metas []Meta
+	byFirst := make(map[byte]int)
+	ambiguous := ""
+	for i := 0; ambiguous == "" || len(metas) < 6; i++ {
+		if i >= 64 {
+			t.Fatal("no ID prefix collision within 64 snapshots")
+		}
+		snap := testSnap(kinds[i%len(kinds)], simclock.Epoch.Add(time.Duration(i)*time.Hour), fmt.Sprintf("sel%d", i))
+		m, err := s.Append(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas = append(metas, m)
+		byFirst[m.ID[0]]++
+		if ambiguous == "" && byFirst[m.ID[0]] > 1 {
+			ambiguous = string(m.ID[0])
+		}
+	}
+	newestOf := func(kind string) uint64 {
+		for i := len(metas) - 1; i >= 0; i-- {
+			if metas[i].Kind == kind {
+				return metas[i].Seq
+			}
+		}
+		t.Fatalf("no %q snapshot appended", kind)
+		return 0
+	}
+
+	tests := []struct {
+		name     string
+		selector string
+		wantSeq  uint64
+		wantErr  error
+	}{
+		{name: "sequence number", selector: "3", wantSeq: 3},
+		{name: "full content ID", selector: metas[1].ID, wantSeq: metas[1].Seq},
+		{name: "unique ID prefix", selector: metas[1].ID[:12], wantSeq: metas[1].Seq},
+		{name: "ambiguous ID prefix", selector: ambiguous, wantErr: ErrAmbiguous},
+		{name: "latest", selector: "latest", wantSeq: metas[len(metas)-1].Seq},
+		{name: "latest identify", selector: "latest:identify", wantSeq: newestOf("identify")},
+		{name: "latest table4", selector: "latest:table4", wantSeq: newestOf("table4")},
+		{name: "latest discovery", selector: "latest:discovery", wantSeq: newestOf("discovery")},
+		{name: "latest of absent kind", selector: "latest:nosuch", wantErr: ErrNotFound},
+		{name: "unknown sequence", selector: "9999", wantErr: ErrNotFound},
+		{name: "empty selector", selector: "", wantErr: ErrNotFound},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _, err := s.Get(tc.selector)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Get(%q) err = %v, want %v", tc.selector, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Get(%q): %v", tc.selector, err)
+			}
+			if m.Seq != tc.wantSeq {
+				t.Fatalf("Get(%q).Seq = %d, want %d", tc.selector, m.Seq, tc.wantSeq)
+			}
+		})
+	}
+}

@@ -32,9 +32,35 @@ func Handler(p Profile) httpwire.Handler {
 		})
 	default:
 		return httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
-			return benignPage(p.Domain, req)
+			return benignPage(p, req)
 		})
 	}
+}
+
+// linkSection renders a profile's outbound hyperlinks (the linked
+// synthetic web the discovery crawler walks). Empty Links render nothing,
+// so unlinked pages keep their original bytes.
+func linkSection(p Profile) string {
+	if len(p.Links) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\n<h2>Related resources</h2>\n<ul>\n")
+	for _, u := range p.Links {
+		fmt.Fprintf(&b, `<li><a href="%s">%s</a></li>`+"\n", u, u)
+	}
+	b.WriteString("</ul>")
+	return b.String()
+}
+
+// keywordSection renders a page's content keywords, the tokens discovery
+// scoring keys on.
+func keywordSection(category string) string {
+	kws := CategoryKeywords(category)
+	if len(kws) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("\n<p class=\"keywords\">keywords: %s</p>", strings.Join(kws, ", "))
 }
 
 func htmlResp(status int, title, body string) *httpwire.Response {
@@ -103,11 +129,14 @@ func listContentPage(p Profile, req *httpwire.Request) *httpwire.Response {
 <p>Independent content site — category: %s (%s theme).</p>
 <p>This page stands in for real-world content protected by Article 19 of
 the Universal Declaration of Human Rights.</p>`, p.Domain, name, cat.Theme)
+	body += keywordSection(p.ResearchCategory)
+	body += linkSection(p)
 	return htmlResp(200, p.Domain+" - "+name, body)
 }
 
-func benignPage(domain string, req *httpwire.Request) *httpwire.Response {
+func benignPage(p Profile, req *httpwire.Request) *httpwire.Response {
 	body := fmt.Sprintf(`<h1>Welcome to %s</h1>
-<p>Nothing interesting here: weather, recipes, and photographs of clouds.</p>`, domain)
-	return htmlResp(200, domain, body)
+<p>Nothing interesting here: weather, recipes, and photographs of clouds.</p>`, p.Domain)
+	body += linkSection(p)
+	return htmlResp(200, p.Domain, body)
 }

@@ -62,6 +62,9 @@ type Profile struct {
 	Kind   Kind
 	// ResearchCategory is the ONI category code for ListContent sites.
 	ResearchCategory string
+	// Links are outbound hyperlink URLs the domain's pages carry, forming
+	// the linked synthetic web the discovery crawler walks (see web.go).
+	Links []string
 }
 
 // Directory maps domains to content profiles. It is the ground truth that

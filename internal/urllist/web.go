@@ -1,0 +1,152 @@
+package urllist
+
+import "sort"
+
+// This file defines the linked layer of the simulated web: hyperlinks on
+// curated-list pages, hub ("link directory") sites, and hidden
+// category-bearing sites that appear on no testing list. Crawling from
+// the curated seeds is the only way to reach the hidden sites, which is
+// exactly the gap the discovery crawler (internal/discovery) exists to
+// close: curated lists can never enumerate everything a filter blocks.
+//
+// Everything here is a fixed literal, so the web graph is identical in
+// every build of the world and discovery runs are deterministic.
+
+// ThemeDiscovered is the synthetic theme crawl-discovered URLs register
+// under. It sits beside the four ONI themes of §5 without being part of
+// the curated category scheme.
+const ThemeDiscovered = "discovered"
+
+// ListDiscovered names the synthetic testing list assembled from
+// crawl-discovered blocked URLs (the list characterization runs as a
+// third source next to "global" and "local-<cc>").
+const ListDiscovered = "discovered"
+
+// SeedLinks maps curated-list domains to the outbound links their pages
+// carry. These are the crawl frontier's entry points into the linked web.
+func SeedLinks() map[string][]string {
+	return map[string][]string{
+		"global-proxy-tools.org":      {"http://mideast-link-directory.org/", "http://mirror-firewall-bypass.net/"},
+		"global-anonymizers.org":      {"http://hidden-tunnel-tools.net/"},
+		"securelyproxy.net":           {"http://mideast-link-directory.org/"},
+		"global-media-freedom.org":    {"http://civil-society-webring.org/", "http://gulf-press-mirror.org/"},
+		"worldpressherald.org":        {"http://mideast-link-directory.org/"},
+		"global-human-rights.org":     {"http://civil-society-webring.org/"},
+		"rightswatch-intl.org":        {"http://detained-bloggers-list.org/"},
+		"global-political-reform.org": {"http://mideast-link-directory.org/"},
+		"global-lgbt.org":             {"http://civil-society-webring.org/"},
+	}
+}
+
+// HiddenSites returns the sites of the linked web that appear on no
+// curated testing list: two benign hub directories plus the hidden
+// category-bearing sites only reachable by following links. The order is
+// fixed (hosting assigns sequential IPs from it).
+func HiddenSites() []Profile {
+	return []Profile{
+		// Hub directories: benign aggregator pages that deep-link the
+		// hidden content sites. Reachable everywhere, so a crawler can
+		// always expand through them.
+		{Domain: "mideast-link-directory.org", Kind: Benign, Links: []string{
+			"http://mirror-firewall-bypass.net/",
+			"http://unblock-gateway.net/",
+			"http://hidden-tunnel-tools.net/",
+			"http://gulf-press-mirror.org/",
+			"http://arab-spring-archive.org/",
+			"http://free-faith-forum.org/",
+		}},
+		{Domain: "civil-society-webring.org", Kind: Benign, Links: []string{
+			"http://gulf-press-mirror.org/",
+			"http://exiled-editors.org/",
+			"http://gulf-pride-underground.org/",
+			"http://detained-bloggers-list.org/",
+			"http://privacy-relay-network.net/",
+		}},
+		// Hidden content sites. Filters that block the category block the
+		// site; none of them is on a curated list.
+		{Domain: "mirror-firewall-bypass.net", Kind: ListContent, ResearchCategory: "proxy-tools", Links: []string{
+			"http://unblock-gateway.net/",
+			"http://privacy-relay-network.net/",
+		}},
+		{Domain: "unblock-gateway.net", Kind: ListContent, ResearchCategory: "proxy-tools"},
+		{Domain: "hidden-tunnel-tools.net", Kind: ListContent, ResearchCategory: "anonymizers", Links: []string{
+			"http://privacy-relay-network.net/",
+		}},
+		{Domain: "privacy-relay-network.net", Kind: ListContent, ResearchCategory: "anonymizers"},
+		{Domain: "gulf-press-mirror.org", Kind: ListContent, ResearchCategory: CatMediaFreedom, Links: []string{
+			"http://exiled-editors.org/",
+		}},
+		{Domain: "exiled-editors.org", Kind: ListContent, ResearchCategory: CatMediaFreedom},
+		{Domain: "arab-spring-archive.org", Kind: ListContent, ResearchCategory: CatPoliticalReform},
+		{Domain: "gulf-pride-underground.org", Kind: ListContent, ResearchCategory: CatLGBT},
+		{Domain: "free-faith-forum.org", Kind: ListContent, ResearchCategory: CatReligiousCriticism},
+		{Domain: "detained-bloggers-list.org", Kind: ListContent, ResearchCategory: CatHumanRights},
+	}
+}
+
+// CategoryKeywords returns the content keywords a category's pages carry
+// (lowercase tokens from the category name plus the code's words). The
+// discovery crawler scores candidate links by these tokens.
+func CategoryKeywords(code string) []string {
+	set := make(map[string]bool)
+	add := func(s string) {
+		for _, tok := range tokenize(s) {
+			set[tok] = true
+		}
+	}
+	add(code)
+	if cat, ok := CategoryByCode(code); ok {
+		add(cat.Name)
+	}
+	out := make([]string, 0, len(set))
+	for tok := range set {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tokenize splits a string into lowercase alphanumeric tokens, dropping
+// short connective words.
+func tokenize(s string) []string {
+	var out []string
+	var cur []rune
+	flush := func() {
+		if len(cur) >= 3 {
+			tok := string(cur)
+			if tok != "and" && tok != "the" && tok != "for" {
+				out = append(out, tok)
+			}
+		}
+		cur = cur[:0]
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			cur = append(cur, r)
+		case r >= 'A' && r <= 'Z':
+			cur = append(cur, r+('a'-'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// DiscoveredList assembles the synthetic "discovered" testing list from
+// entries found by crawling: deduplicated by URL and sorted, so the list
+// is deterministic regardless of discovery order.
+func DiscoveredList(entries []Entry) List {
+	seen := make(map[string]bool, len(entries))
+	var out []Entry
+	for _, e := range entries {
+		if seen[e.URL] {
+			continue
+		}
+		seen[e.URL] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return List{Name: ListDiscovered, Entries: out}
+}

@@ -1,0 +1,57 @@
+// Package version exposes one build-version string for every fm*
+// binary and the fmserve health endpoint, derived from the module build
+// info the Go toolchain embeds (no ldflags required).
+package version
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+)
+
+// String returns the build's version: the main module version when the
+// binary was built from a tagged module, else the VCS revision (short),
+// else "devel".
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Flag registers -version on fs. Call the returned function after
+// parsing: it prints "<name> <version>" and exits 0 when the flag was
+// set.
+func Flag(fs *flag.FlagSet, name string) func() {
+	show := fs.Bool("version", false, "print version and exit")
+	return func() {
+		if *show {
+			fmt.Printf("%s %s\n", name, String())
+			os.Exit(0)
+		}
+	}
+}

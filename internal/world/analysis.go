@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"filtermap/internal/characterize"
-	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/scanner"
 	"filtermap/internal/urllist"
@@ -104,27 +103,7 @@ func (w *World) RunCharacterization(ctx context.Context) ([]*characterize.Report
 // means every target). Unknown names are ignored; callers wanting
 // validation should check against CharacterizationTargets first.
 func (w *World) RunCharacterizationFor(ctx context.Context, isps []string) ([]*characterize.Report, error) {
-	w.EnsureYemenFilteringActive()
-	runs, err := w.CharacterizationRuns()
-	if err != nil {
-		return nil, err
-	}
-	if len(isps) > 0 {
-		want := make(map[string]bool, len(isps))
-		for _, isp := range isps {
-			want[isp] = true
-		}
-		filtered := runs[:0]
-		for _, r := range runs {
-			if want[r.ISP] {
-				filtered = append(filtered, r)
-			}
-		}
-		runs = filtered
-	}
-	return engine.Map(ctx, w.Engine, StageCharacterize, runs, func(ctx context.Context, r characterize.Run) (*characterize.Report, error) {
-		return characterize.Characterize(ctx, r), nil
-	})
+	return w.RunCharacterizationWithExtra(ctx, isps)
 }
 
 // EnsureYemenFilteringActive advances the clock (up to 24h) to an hour

@@ -72,6 +72,18 @@ func newSmartFilterDB(clock simclock.Clock) *categorydb.DB {
 		"uaedetaineewatch.org":                 smartfilter.CatHumanRights,
 		"global-minority-groups-religions.org": smartfilter.CatMinority,
 		"shia-community-gulf.org":              smartfilter.CatMinority,
+		// Hidden linked-web sites (urllist.HiddenSites): categorized like
+		// everything else, but on no curated testing list — only the
+		// discovery crawler reaches them.
+		"mirror-firewall-bypass.net": smartfilter.CatAnonymizers,
+		"unblock-gateway.net":        smartfilter.CatAnonymizers,
+		"hidden-tunnel-tools.net":    smartfilter.CatAnonymizers,
+		"privacy-relay-network.net":  smartfilter.CatAnonymizers,
+		"gulf-press-mirror.org":      smartfilter.CatMedia,
+		"exiled-editors.org":         smartfilter.CatMedia,
+		"arab-spring-archive.org":    smartfilter.CatPolitics,
+		"gulf-pride-underground.org": smartfilter.CatLGBT,
+		"free-faith-forum.org":       smartfilter.CatReligion,
 	}
 	for d, c := range seed {
 		mustAdd(db, d, c)
@@ -106,6 +118,13 @@ func newNetsweeperDB(clock simclock.Clock, dir *urllist.Directory) *categorydb.D
 		"global-proxy-tools.org": netsweeper.CatProxyAnonymizer,
 		"global-anonymizers.org": netsweeper.CatProxyAnonymizer,
 		"global-pornography.org": netsweeper.CatPornography,
+		// Hidden linked-web proxy/anonymizer sites: pre-categorized in the
+		// master database (the auto-queue's review delay would otherwise
+		// keep them unrated for days of virtual time).
+		"mirror-firewall-bypass.net": netsweeper.CatProxyAnonymizer,
+		"unblock-gateway.net":        netsweeper.CatProxyAnonymizer,
+		"hidden-tunnel-tools.net":    netsweeper.CatProxyAnonymizer,
+		"privacy-relay-network.net":  netsweeper.CatProxyAnonymizer,
 	}
 	for d, c := range seed {
 		mustAdd(db, d, c)

@@ -137,6 +137,9 @@ func (w *World) buildDu() error {
 		"gulf-lgbt-network.org", "global-lgbt.org", "rainbowalliance.org",
 		"islam-debate-forum.org", "global-religious-criticism.org",
 		"shia-community-gulf.org", "global-minority-groups-religions.org",
+		// Hidden linked-web sites in the same themes (on no curated list;
+		// only crawling surfaces them).
+		"gulf-pride-underground.org", "free-faith-forum.org",
 	} {
 		engine.Policy.AddCustom(domain, "du-custom-blocklist")
 	}
@@ -174,6 +177,8 @@ func (w *World) buildOoredoo() error {
 	for _, domain := range []string{
 		"qatari-lgbt-forum.org", "global-lgbt.org", "rainbowalliance.org",
 		"gulf-religion-talk.org", "global-religious-criticism.org",
+		// Hidden linked-web sites in the same themes.
+		"gulf-pride-underground.org", "free-faith-forum.org",
 	} {
 		engine.Policy.AddCustom(domain, "ooredoo-custom-blocklist")
 	}
@@ -269,6 +274,9 @@ func (w *World) buildYemenNet() error {
 		"yemeni-rights-forum.org", "global-human-rights.org", "rightswatch-intl.org",
 		"yemen-change-now.org", "global-political-reform.org",
 		"aden-free-voices.org", "global-lgbt.org",
+		// Hidden linked-web sites in the same themes.
+		"gulf-press-mirror.org", "exiled-editors.org",
+		"detained-bloggers-list.org", "arab-spring-archive.org",
 	} {
 		engine.Policy.AddCustom(domain, "yemennet-custom-blocklist")
 	}

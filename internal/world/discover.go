@@ -1,0 +1,138 @@
+package world
+
+import (
+	"context"
+
+	"filtermap/internal/characterize"
+	"filtermap/internal/discovery"
+	"filtermap/internal/engine"
+	"filtermap/internal/urllist"
+)
+
+// DiscoveryOptions configures RunDiscovery.
+type DiscoveryOptions struct {
+	// ISPs restricts discovery to the named targets (nil or empty means
+	// every characterization target). Unknown names are ignored; callers
+	// wanting validation should check CharacterizationTargets first.
+	ISPs []string
+	// Rounds and Budget cap each target's crawl (0 applies the discovery
+	// package defaults).
+	Rounds int
+	Budget int
+}
+
+// TargetDiscovery is one characterization target's crawl outcome.
+type TargetDiscovery struct {
+	Country string
+	ISP     string
+	ASN     int
+	Report  *discovery.Report
+}
+
+// DiscoverySeeds returns the crawl seed URLs for a country: the global
+// list followed by the country's local list, in list order.
+func (w *World) DiscoverySeeds(country string) []string {
+	g := urllist.GlobalList()
+	l := urllist.LocalList(country)
+	out := make([]string, 0, len(g.Entries)+len(l.Entries))
+	out = append(out, g.URLs()...)
+	out = append(out, l.URLs()...)
+	return out
+}
+
+// NewCrawler builds a discovery crawler probing through the ISP's
+// dual-vantage measurement client, with novelty judged against the
+// curated lists and categories resolved from the content directory.
+func (w *World) NewCrawler(isp string, rounds, budget int) (*discovery.Crawler, error) {
+	client, err := w.MeasureClient(isp)
+	if err != nil {
+		return nil, err
+	}
+	return &discovery.Crawler{
+		Prober:  client,
+		Curated: CuratedDomains(),
+		Categorize: func(domain string) string {
+			if p, ok := w.Dir.Lookup(domain); ok {
+				return p.ResearchCategory
+			}
+			return ""
+		},
+		Rounds: rounds,
+		Budget: budget,
+		Config: w.Engine,
+	}, nil
+}
+
+// RunDiscovery crawls each selected target and returns reports in
+// CharacterizationTargets order. Targets run sequentially — each crawl's
+// probe fan-out already saturates the shared worker pool, and a fixed
+// order keeps the run deterministic. The clock is positioned so the
+// YemenNet license permits filtering, as for characterization.
+func (w *World) RunDiscovery(ctx context.Context, opts DiscoveryOptions) ([]TargetDiscovery, error) {
+	w.EnsureYemenFilteringActive()
+	want := make(map[string]bool, len(opts.ISPs))
+	for _, isp := range opts.ISPs {
+		want[isp] = true
+	}
+	var out []TargetDiscovery
+	for _, t := range CharacterizationTargets() {
+		if len(opts.ISPs) > 0 && !want[t.ISP] {
+			continue
+		}
+		crawler, err := w.NewCrawler(t.ISP, opts.Rounds, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		rep := crawler.Crawl(ctx, w.DiscoverySeeds(t.Country))
+		out = append(out, TargetDiscovery{Country: t.Country, ISP: t.ISP, ASN: t.ASN, Report: rep})
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// DiscoveredList assembles the synthetic "discovered" testing list from
+// the novel findings across per-target discovery reports (deduplicated
+// and sorted by urllist.DiscoveredList, so target order does not matter).
+func DiscoveredList(targets []TargetDiscovery) urllist.List {
+	var entries []urllist.Entry
+	for _, t := range targets {
+		for _, f := range t.Report.Novel() {
+			entries = append(entries, urllist.Entry{URL: f.URL, Domain: f.Domain, Category: f.Category})
+		}
+	}
+	return urllist.DiscoveredList(entries)
+}
+
+// RunCharacterizationWithExtra runs §5 for the named ISPs (nil or empty
+// means every target) with additional testing lists — typically the
+// "discovered" list a discovery crawl produced — measured after the
+// curated pair. Blocked extras carry their list name in FromList, so
+// crawl-discovered blocking is attributable in Table 4's input.
+func (w *World) RunCharacterizationWithExtra(ctx context.Context, isps []string, extra ...urllist.List) ([]*characterize.Report, error) {
+	w.EnsureYemenFilteringActive()
+	runs, err := w.CharacterizationRuns()
+	if err != nil {
+		return nil, err
+	}
+	if len(isps) > 0 {
+		want := make(map[string]bool, len(isps))
+		for _, isp := range isps {
+			want[isp] = true
+		}
+		filtered := runs[:0]
+		for _, r := range runs {
+			if want[r.ISP] {
+				filtered = append(filtered, r)
+			}
+		}
+		runs = filtered
+	}
+	for i := range runs {
+		runs[i].Extra = append(runs[i].Extra, extra...)
+	}
+	return engine.Map(ctx, w.Engine, StageCharacterize, runs, func(ctx context.Context, r characterize.Run) (*characterize.Report, error) {
+		return characterize.Characterize(ctx, r), nil
+	})
+}

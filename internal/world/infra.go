@@ -132,11 +132,16 @@ func (w *World) allocSiteIP() netip.Addr {
 // HostSite registers a domain with the given content profile: DNS, a
 // hosting IP, an origin server, and a content-directory entry.
 func (w *World) HostSite(domain string, kind urllist.Kind, researchCategory string) error {
-	profile := urllist.Profile{Domain: domain, Kind: kind, ResearchCategory: researchCategory}
+	return w.HostProfile(urllist.Profile{Domain: domain, Kind: kind, ResearchCategory: researchCategory})
+}
+
+// HostProfile hosts a fully specified content profile, including the
+// outbound links of the linked synthetic web.
+func (w *World) HostProfile(profile urllist.Profile) error {
 	w.Dir.Add(profile)
-	h, err := w.Net.AddHost(w.allocSiteIP(), domain, w.hostingISP)
+	h, err := w.Net.AddHost(w.allocSiteIP(), profile.Domain, w.hostingISP)
 	if err != nil {
-		return fmt.Errorf("host %s: %w", domain, err)
+		return fmt.Errorf("host %s: %w", profile.Domain, err)
 	}
 	l, err := h.Listen(80)
 	if err != nil {
@@ -161,8 +166,11 @@ func (w *World) ProvisionTestSites(kind urllist.Kind, n int) ([]string, error) {
 	return urls, nil
 }
 
-// buildListSites hosts every global- and local-list domain.
+// buildListSites hosts every global- and local-list domain. Curated
+// pages carry the seed links of the linked synthetic web (urllist
+// .SeedLinks), the discovery crawler's entry points.
 func (w *World) buildListSites() error {
+	seedLinks := urllist.SeedLinks()
 	seen := make(map[string]bool)
 	host := func(list urllist.List) error {
 		for _, e := range list.Entries {
@@ -170,7 +178,13 @@ func (w *World) buildListSites() error {
 				continue
 			}
 			seen[e.Domain] = true
-			if err := w.HostSite(e.Domain, urllist.ListContent, e.Category); err != nil {
+			p := urllist.Profile{
+				Domain:           e.Domain,
+				Kind:             urllist.ListContent,
+				ResearchCategory: e.Category,
+				Links:            seedLinks[e.Domain],
+			}
+			if err := w.HostProfile(p); err != nil {
 				return err
 			}
 		}
@@ -185,6 +199,35 @@ func (w *World) buildListSites() error {
 		}
 	}
 	return nil
+}
+
+// buildLinkedWeb hosts the hidden layer of the synthetic web: hub
+// directories and category-bearing sites on no curated list, reachable
+// only by following links (internal/discovery's quarry).
+func (w *World) buildLinkedWeb() error {
+	for _, p := range urllist.HiddenSites() {
+		if err := w.HostProfile(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CuratedDomains returns the set of domains on any curated testing list
+// (the global list plus every per-country local list). Discovery marks
+// blocked URLs outside this set as novel.
+func CuratedDomains() map[string]bool {
+	out := make(map[string]bool)
+	add := func(list urllist.List) {
+		for _, e := range list.Entries {
+			out[e.Domain] = true
+		}
+	}
+	add(urllist.GlobalList())
+	for _, cc := range []string{"AE", "QA", "SA", "YE"} {
+		add(urllist.LocalList(cc))
+	}
+	return out
 }
 
 // netsimVisibilityForConsole is a helper kept for readability at call

@@ -165,6 +165,9 @@ func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 	if err := w.buildListSites(); err != nil {
 		return nil, fmt.Errorf("world: list sites: %w", err)
 	}
+	if err := w.buildLinkedWeb(); err != nil {
+		return nil, fmt.Errorf("world: linked web: %w", err)
+	}
 	if err := w.buildDeployments(); err != nil {
 		return nil, fmt.Errorf("world: deployments: %w", err)
 	}
