@@ -31,6 +31,33 @@ hist-golden:
 discover-golden:
 	go test -run 'TestGoldenDiscovery|TestDiscoverEndpointMatchesCLIDocument' -count=1 .
 
+# The chaos determinism check: a full fmrepro run under the seeded
+# fault-injection plan must complete with explicitly degraded results
+# and be byte-identical at any worker count. Regenerate the golden after
+# an intentional change with
+# `go run ./cmd/fmrepro -chaos 42 -only figure1,table3,table4 > testdata/chaos.golden`.
+.PHONY: chaos-golden
+chaos-golden:
+	go test -race -run 'TestChaos' -count=1 .
+
+# Short deterministic fuzzing of every wire-facing parser: each target
+# runs its seed corpus plus a few seconds of mutation. A real fuzzing
+# session replaces -fuzztime with minutes or hours.
+FUZZTIME ?= 5s
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test -run xxx -fuzz FuzzReadRequest -fuzztime $(FUZZTIME) ./internal/httpwire/
+	go test -run xxx -fuzz FuzzReadResponse -fuzztime $(FUZZTIME) ./internal/httpwire/
+	go test -run xxx -fuzz FuzzClassifyResponse -fuzztime $(FUZZTIME) ./internal/blockpage/
+	go test -run xxx -fuzz FuzzDeriveBodyRegexp -fuzztime $(FUZZTIME) ./internal/blockpage/
+	go test -run xxx -fuzz FuzzExtractTitle -fuzztime $(FUZZTIME) ./internal/fingerprint/
+
+# Fail the build when any package (examples excluded) ships without a
+# _test.go file.
+.PHONY: test-gate
+test-gate:
+	./scripts/check_tests.sh
+
 # The evaluation benchmarks, including the serial-vs-parallel
 # identification scaling run.
 .PHONY: bench
@@ -50,4 +77,4 @@ bench-serve:
 	go test -run xxx -bench BenchmarkServeCachedIdentify ./internal/server/
 
 .PHONY: ci
-ci: test race
+ci: test-gate test race chaos-golden

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMainTable4 runs the real main end to end: a full §5
+// characterization of every confirmed deployment, printed as Table 4.
+func TestMainTable4(t *testing.T) {
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmcharacterize"}
+		main()
+	})
+	if !strings.Contains(out, "Table 4") {
+		t.Fatalf("fmcharacterize output missing Table 4:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

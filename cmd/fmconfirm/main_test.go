@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMainList runs the real main in -list mode and checks the Table 3
+// campaign catalog is printed.
+func TestMainList(t *testing.T) {
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmconfirm", "-list"}
+		main()
+	})
+	if !strings.Contains(out, "netsweeper-yemen-yemennet") {
+		t.Fatalf("fmconfirm -list output missing known campaign key:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

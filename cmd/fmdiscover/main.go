@@ -8,6 +8,7 @@
 //
 //	fmdiscover [-rounds N] [-budget N] [-isps a,b] [-seed N] [-workers N]
 //	           [-json] [-stats] [-store DIR] [-table4]
+//	           [-chaos seed] [-fault-profile name]
 //
 // The default text output summarizes each target's crawl and lists the
 // novel blocked URLs. -json emits the same document fmserve returns
@@ -45,6 +46,10 @@ func main() {
 	stats := flag.Bool("stats", false, "append per-stage engine statistics")
 	storeDir := flag.String("store", "", "record the run into this snapshot store directory")
 	table4 := flag.Bool("table4", false, "fold the discovered list into a re-measurement and print Table 4")
+	chaosSeed := flag.Uint64("chaos", 0, "nonzero: install the deterministic fault-injection plan with this seed")
+	faultProfile := flag.String("fault-profile", "",
+		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
+			strings.Join(filtermap.FaultProfiles(), ", "), filtermap.DefaultFaultProfile))
 	checkVersion := version.Flag(flag.CommandLine, "fmdiscover")
 	flag.Parse()
 	checkVersion()
@@ -53,7 +58,11 @@ func main() {
 	if *workers > 0 {
 		engOpts = append(engOpts, filtermap.WithWorkers(*workers))
 	}
-	w, err := filtermap.NewWorld(filtermap.Options{Seed: *seed}, engOpts...)
+	w, err := filtermap.NewWorld(filtermap.Options{
+		Seed:         *seed,
+		ChaosSeed:    *chaosSeed,
+		FaultProfile: *faultProfile,
+	}, engOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"filtermap"
+)
+
+// TestMainSingleTarget runs the real main against one vantage with a
+// tight crawl budget — flag parsing, world build, crawl, and report.
+func TestMainSingleTarget(t *testing.T) {
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmdiscover", "-rounds", "1", "-budget", "5", "-isps", filtermap.ISPYemenNet}
+		main()
+	})
+	if !strings.Contains(out, "Discovery: crawl-based blocked-URL discovery") {
+		t.Fatalf("fmdiscover output missing report header:\n%s", out)
+	}
+	if !strings.Contains(out, filtermap.ISPYemenNet) {
+		t.Fatalf("fmdiscover output missing the requested target:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMainListEmpty runs the real main's list subcommand against a fresh
+// store directory.
+func TestMainListEmpty(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmhist", "-dir", dir, "list"}
+		main()
+	})
+	if !strings.Contains(out, "no snapshots") {
+		t.Fatalf("fmhist list on an empty store should say so:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	fmrepro [-only table1|table2|table3|table4|table5|figure1|denypagetests] [-stats] [-json]
+//	fmrepro [-only table1,figure1,...] [-stats] [-json] [-chaos seed] [-fault-profile name] [-workers n]
 //
-// Without -only, everything is regenerated in order. With -stats, each
-// step that runs a pipeline prints its per-stage engine timing table to
-// stderr (stdout stays byte-identical for the golden files). With -json,
-// artifacts that have a machine-readable form (table1, table2, figure1,
-// table3, table4) print the same JSON documents fmserve serves; the
-// prose-only artifacts are skipped with a note on stderr.
+// Without -only, everything is regenerated in order; -only takes a
+// comma-separated subset of table1..table5, figure1, denypagetests.
+// With -stats, each step that runs a pipeline prints its per-stage
+// engine timing table to stderr (stdout stays byte-identical for the
+// golden files). With -json, artifacts that have a machine-readable form
+// (table1, table2, figure1, table3, table4) print the same JSON
+// documents fmserve serves; the prose-only artifacts are skipped with a
+// note on stderr.
+//
+// With -chaos, a nonzero seed installs a deterministic fault-injection
+// plan on the simulated network (-fault-profile picks the named plan).
+// Pipelines then run with retries and a circuit breaker, complete with
+// partial results, and the reports carry explicit DEGRADED sections —
+// byte-identical for the same seed at any -workers count.
 package main
 
 import (
@@ -37,7 +45,25 @@ import (
 var (
 	showStats = flag.Bool("stats", false, "print per-stage engine timing tables to stderr")
 	jsonOut   = flag.Bool("json", false, "emit machine-readable artifacts as JSON (fmserve's encoding)")
+
+	chaosSeed = flag.Uint64("chaos", 0, "nonzero: install the deterministic fault-injection plan with this seed")
+	faultProfile = flag.String("fault-profile", "",
+		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
+			strings.Join(filtermap.FaultProfiles(), ", "), filtermap.DefaultFaultProfile))
+	workers = flag.Int("workers", 0, "worker-pool size for pooled pipeline stages (0 = engine default)")
 )
+
+// newWorld builds a world for one step, folding in the global -chaos,
+// -fault-profile and -workers flags.
+func newWorld(base filtermap.Options) (*filtermap.World, error) {
+	base.ChaosSeed = *chaosSeed
+	base.FaultProfile = *faultProfile
+	var engOpts []filtermap.Option
+	if *workers > 0 {
+		engOpts = append(engOpts, filtermap.WithWorkers(*workers))
+	}
+	return filtermap.NewWorld(base, engOpts...)
+}
 
 // emitJSON prints a document the way fmserve does: compact JSON plus a
 // trailing newline.
@@ -67,7 +93,7 @@ func jsonStats(w *filtermap.World) *filtermap.StatsSnapshot {
 }
 
 func main() {
-	only := flag.String("only", "", "regenerate a single artifact: table1..table5, figure1, denypagetests")
+	only := flag.String("only", "", "regenerate a comma-separated subset: table1..table5, figure1, denypagetests")
 	checkVersion := version.Flag(flag.CommandLine, "fmrepro")
 	flag.Parse()
 	checkVersion()
@@ -84,20 +110,30 @@ func main() {
 		{"denypagetests", denyPageTests},
 		{"table5", table5},
 	}
-	ctx := context.Background()
-	ran := false
-	for _, s := range steps {
-		if *only != "" && !strings.EqualFold(*only, s.name) {
-			continue
+	// -only names are unordered; steps always run in paper order.
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.ToLower(strings.TrimSpace(name)); name != "" {
+			wanted[name] = true
 		}
-		ran = true
+	}
+	ctx := context.Background()
+	for _, s := range steps {
+		if len(wanted) > 0 || *only != "" {
+			if !wanted[s.name] {
+				continue
+			}
+			delete(wanted, s.name)
+		}
 		if err := s.run(ctx); err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}
 		fmt.Println()
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
+	if len(wanted) > 0 {
+		for name := range wanted {
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
+		}
 		os.Exit(2)
 	}
 }
@@ -127,7 +163,7 @@ func table2(context.Context) error {
 }
 
 func figure1(ctx context.Context) error {
-	w, err := filtermap.NewWorld(filtermap.Options{})
+	w, err := newWorld(filtermap.Options{})
 	if err != nil {
 		return err
 	}
@@ -150,7 +186,7 @@ func figure1(ctx context.Context) error {
 }
 
 func table3(ctx context.Context) error {
-	w, err := filtermap.NewWorld(filtermap.Options{})
+	w, err := newWorld(filtermap.Options{})
 	if err != nil {
 		return err
 	}
@@ -170,7 +206,7 @@ func table3(ctx context.Context) error {
 }
 
 func table4(ctx context.Context) error {
-	w, err := filtermap.NewWorld(filtermap.Options{})
+	w, err := newWorld(filtermap.Options{})
 	if err != nil {
 		return err
 	}
@@ -186,7 +222,7 @@ func table4(ctx context.Context) error {
 		doc.Stats = jsonStats(w)
 		return emitJSON(doc)
 	}
-	fmt.Print(filtermap.Reporter{}.Table4(reports))
+	fmt.Print(filtermap.Reporter{}.Table4WithReports(reports))
 	fmt.Println("\n(cells reconstructed from §5 prose; see EXPERIMENTS.md)")
 	return nil
 }
@@ -196,7 +232,7 @@ func denyPageTests(ctx context.Context) error {
 		fmt.Fprintln(os.Stderr, "denypagetests: no JSON form, skipping (-json)")
 		return nil
 	}
-	w, err := filtermap.NewWorld(filtermap.Options{})
+	w, err := newWorld(filtermap.Options{})
 	if err != nil {
 		return err
 	}
@@ -225,7 +261,7 @@ func table5(ctx context.Context) error {
 	var rows []report.Table5Row
 
 	// Row 1: hidden devices.
-	w1, err := filtermap.NewWorld(filtermap.Options{HideConsoles: true})
+	w1, err := newWorld(filtermap.Options{HideConsoles: true})
 	if err != nil {
 		return err
 	}
@@ -246,7 +282,7 @@ func table5(ctx context.Context) error {
 	w1.Close()
 
 	// Row 2: scrubbed headers.
-	w2, err := filtermap.NewWorld(filtermap.Options{ScrubHeaders: true})
+	w2, err := newWorld(filtermap.Options{ScrubHeaders: true})
 	if err != nil {
 		return err
 	}
@@ -265,7 +301,7 @@ func table5(ctx context.Context) error {
 	w2.Close()
 
 	// Row 3: submission filtering and its countermeasure.
-	w3, err := filtermap.NewWorld(filtermap.Options{FilterSubmissions: true})
+	w3, err := newWorld(filtermap.Options{FilterSubmissions: true})
 	if err != nil {
 		return err
 	}

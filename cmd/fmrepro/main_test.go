@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMainOnlyTable1 runs the real main with -only table1 — flag
+// parsing, step selection and report rendering end to end.
+func TestMainOnlyTable1(t *testing.T) {
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmrepro", "-only", "table1"}
+		main()
+	})
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("fmrepro -only table1 output missing the table:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

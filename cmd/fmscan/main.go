@@ -4,13 +4,17 @@
 // Usage:
 //
 //	fmscan [-query "netsweeper country:YE"] [-installations] [-json] [-workers N] [-stats]
+//	       [-chaos seed] [-fault-profile name]
 //
 // Without -query it runs the full Table 2 keyword fan-out and prints the
 // Figure 1 map; with -query it prints raw banner-index hits for one
 // Shodan-style query. -json emits the identification report as the same
 // JSON document fmserve's POST /v1/identify returns. -workers bounds the
 // shared pool every pipeline stage runs on; -stats prints the per-stage
-// timing table to stderr.
+// timing table to stderr. -chaos installs the deterministic
+// fault-injection plan with the given seed; the pipeline then retries
+// transient faults, completes with partial coverage, and marks the
+// report DEGRADED.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"filtermap"
 
@@ -35,11 +40,18 @@ func main() {
 	loadCensus := flag.String("load-census", "", "load the banner index from a census JSONL file instead of scanning")
 	workers := flag.Int("workers", 0, "worker-pool size for scan/validate/geo stages (0 = default)")
 	showStats := flag.Bool("stats", false, "print the per-stage engine timing table to stderr")
+	chaosSeed := flag.Uint64("chaos", 0, "nonzero: install the deterministic fault-injection plan with this seed")
+	faultProfile := flag.String("fault-profile", "",
+		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
+			strings.Join(filtermap.FaultProfiles(), ", "), filtermap.DefaultFaultProfile))
 	checkVersion := version.Flag(flag.CommandLine, "fmscan")
 	flag.Parse()
 	checkVersion()
 
-	w, err := filtermap.NewWorld(filtermap.Options{}, filtermap.WithWorkers(*workers))
+	w, err := filtermap.NewWorld(filtermap.Options{
+		ChaosSeed:    *chaosSeed,
+		FaultProfile: *faultProfile,
+	}, filtermap.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}

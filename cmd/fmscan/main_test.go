@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMainQuery runs the real main in -query mode: a full banner scan of
+// the simulated network followed by one Shodan-style search.
+func TestMainQuery(t *testing.T) {
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmscan", "-query", "netsweeper"}
+		main()
+	})
+	if !strings.Contains(out, `hits for "netsweeper"`) {
+		t.Fatalf("fmscan -query output missing hit summary:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

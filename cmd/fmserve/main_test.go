@@ -1,0 +1,31 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"filtermap"
+)
+
+// TestServerWiring builds the server exactly the way main wires it from
+// flag defaults and checks the health endpoint answers. main itself
+// blocks in ListenAndServe, so the smoke test stops at the handler.
+func TestServerWiring(t *testing.T) {
+	srv, err := filtermap.NewServer(filtermap.ServeOptions{
+		CacheTTL:        5 * time.Minute,
+		CacheEntries:    256,
+		JobWorkers:      2,
+		RateBurst:       8,
+		MaxRequestBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("NewServer with flag defaults: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200\n%s", rec.Code, rec.Body)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/longitudinal"
+	"filtermap/internal/netsim"
 	"filtermap/internal/report"
 	"filtermap/internal/server"
 	"filtermap/internal/store"
@@ -130,6 +131,14 @@ func NewStats() *Stats { return engine.NewStats() }
 // ErrUnknownPlan reports a campaign key matching no Table 3 plan (see
 // World.RunPlan and World.PlanKeys).
 var ErrUnknownPlan = world.ErrUnknownPlan
+
+// DefaultFaultProfile is the fault profile Options.ChaosSeed uses when
+// Options.FaultProfile is empty.
+const DefaultFaultProfile = netsim.DefaultFaultProfile
+
+// FaultProfiles lists the named fault-injection profiles accepted by
+// Options.FaultProfile, sorted.
+func FaultProfiles() []string { return netsim.FaultProfiles() }
 
 // NewWorld builds the default simulated Internet. Trailing options tune
 // the shared execution substrate, e.g.
@@ -244,6 +253,13 @@ func (Reporter) Table3(outcomes []*Outcome) string { return report.Table3(outcom
 // Table4 renders characterization reports as the Table 4 matrix.
 func (Reporter) Table4(reports []*CharacterizeReport) string {
 	return report.Table4(characterize.Matrix(reports))
+}
+
+// Table4WithReports renders the Table 4 matrix plus, when any run was
+// degraded (partial measurements under fault injection), a DEGRADED
+// footer. Without degraded runs the output is byte-identical to Table4.
+func (Reporter) Table4WithReports(reports []*CharacterizeReport) string {
+	return report.Table4WithReports(reports)
 }
 
 // Figure1 renders the identification report as the Figure 1 map.

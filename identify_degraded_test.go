@@ -1,0 +1,68 @@
+package filtermap_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"filtermap"
+
+	"filtermap/internal/netsim"
+)
+
+// TestIdentifyDegradedOnTotalValidationFailure pre-builds the banner
+// index over a healthy network, then kills every subsequent dial with a
+// sticky always-on connect-timeout plan. Validation loses every
+// candidate; the pipeline must survive and return an explicitly
+// degraded report — not an error, and not a silently clean non-match.
+func TestIdentifyDegradedOnTotalValidationFailure(t *testing.T) {
+	w, err := filtermap.NewWorld(filtermap.Options{})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+
+	index, err := w.Scanner().ScanNetwork(ctx)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	pipeline, err := w.IdentifyPipeline(ctx, index)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+
+	w.Net.SetFaultPlan(&netsim.FaultPlan{
+		Seed: 1,
+		Rules: []netsim.FaultRule{
+			{Kind: netsim.FaultConnectTimeout, Probability: 1, Sticky: true},
+		},
+	})
+
+	rep, err := pipeline.Run(ctx)
+	if err != nil {
+		t.Fatalf("pipeline must survive total validation failure, got: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("report with every candidate lost is not marked Degraded")
+	}
+	if len(rep.Errors) == 0 {
+		t.Fatal("no stage errors recorded for the lost candidates")
+	}
+	if rep.ValidatedCount != 0 {
+		t.Fatalf("validated %d candidates through a dead network", rep.ValidatedCount)
+	}
+	if rep.CandidateCount == 0 {
+		t.Fatal("keyword search over the pre-built index found no candidates")
+	}
+
+	fig := filtermap.Reporter{}.Figure1(rep)
+	if !strings.Contains(fig, "DEGRADED: partial coverage") {
+		t.Fatalf("Figure 1 missing the DEGRADED footer:\n%s", fig)
+	}
+	doc := filtermap.Reporter{}.IdentifyJSON(rep)
+	if !doc.Degraded || len(doc.StageErrors) == 0 {
+		t.Fatalf("JSON document dropped the degraded state: degraded=%v errors=%d",
+			doc.Degraded, len(doc.StageErrors))
+	}
+}

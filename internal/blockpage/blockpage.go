@@ -240,6 +240,14 @@ func DeriveBodyRegexp(product string, samples [][]byte) (Pattern, error) {
 	if err != nil {
 		return Pattern{}, fmt.Errorf("blockpage: derived regex failed to compile: %w", err)
 	}
+	// The kept lines are joined in the first sample's order; samples that
+	// order them differently would yield a pattern that cannot match its
+	// own evidence. Refuse rather than hand back a broken classifier.
+	for i, s := range samples {
+		if !re.Match(s) {
+			return Pattern{}, fmt.Errorf("blockpage: derived regex does not match sample %d", i)
+		}
+	}
 	return Pattern{Product: product, Name: "derived", Where: InBody, Regexp: re}, nil
 }
 

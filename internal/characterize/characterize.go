@@ -52,6 +52,11 @@ type Report struct {
 	Results []measurement.Result
 	// Blocked holds the blocked entries with product attribution.
 	Blocked []BlockedEntry
+	// Errors lists transport-degraded measurements ("URL: detail"), in
+	// result order. Verdicts for these URLs rest on incomplete evidence.
+	Errors []string
+	// Degraded reports that at least one measurement was degraded.
+	Degraded bool
 
 	// blockedCats maps product -> set of blocked research category codes.
 	blockedCats map[string]map[string]bool
@@ -117,6 +122,10 @@ func Characterize(ctx context.Context, run Run) *Report {
 		results := run.Client.TestList(ctx, list.URLs())
 		rep.Results = append(rep.Results, results...)
 		for _, res := range results {
+			if detail, degraded := res.Degraded(); degraded {
+				rep.Errors = append(rep.Errors, res.URL+": "+detail)
+				rep.Degraded = true
+			}
 			if res.Verdict != measurement.Blocked || !res.Matched {
 				continue
 			}

@@ -131,6 +131,30 @@ type Outcome struct {
 	Confirmed bool
 }
 
+// MeasurementErrors lists transport-degraded measurements across the
+// pre-test and every re-test round, as "URL: detail" lines in test order.
+func (o *Outcome) MeasurementErrors() []string {
+	var out []string
+	collect := func(results []measurement.Result) {
+		for _, r := range results {
+			if detail, degraded := r.Degraded(); degraded {
+				out = append(out, r.URL+": "+detail)
+			}
+		}
+	}
+	collect(o.PreTestResults)
+	for _, round := range o.Rounds {
+		collect(round)
+	}
+	return out
+}
+
+// Degraded reports whether the campaign's evidence is partial: failed
+// vendor submissions or transport-degraded measurements.
+func (o *Outcome) Degraded() bool {
+	return len(o.SubmitErrors) > 0 || len(o.MeasurementErrors()) > 0
+}
+
 // Ratio renders the Table 3 "sites blocked" cell, e.g. "5/6".
 func (o *Outcome) Ratio() string {
 	return fmt.Sprintf("%d/%d", o.BlockedSubmitted, len(o.Submitted))

@@ -117,6 +117,13 @@ type Report struct {
 	// Findings holds every blocked URL in discovery order (round, then
 	// frontier order).
 	Findings []Finding `json:"findings"`
+	// Errors lists transport-degraded probes ("URL: detail") in probe
+	// order. A degraded probe still contributes whatever evidence it
+	// produced (a blocked verdict, the lab's outlinks) but its absence of
+	// findings is not proof of accessibility.
+	Errors []string `json:"errors,omitempty"`
+	// Degraded reports that at least one probe was degraded.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Novel returns the findings absent from every curated list.
@@ -198,6 +205,10 @@ func (c *Crawler) Crawl(ctx context.Context, seeds []string) *Report {
 			cand := batch[i]
 			res := r.Value
 			stat.Probed++
+			if detail, degraded := res.Degraded(); degraded {
+				rep.Errors = append(rep.Errors, res.URL+": "+detail)
+				rep.Degraded = true
+			}
 			switch res.Verdict {
 			case measurement.Blocked:
 				stat.Blocked++

@@ -95,6 +95,9 @@ type Config struct {
 	// Sleep waits out retry backoffs; nil sleeps real time (ctx-aware).
 	// The simulated world injects a virtual-clock sleeper in tests.
 	Sleep func(ctx context.Context, d time.Duration)
+	// Breaker is the optional per-target circuit breaker stages consult
+	// (nil for none). See NewBreaker.
+	Breaker *Breaker
 }
 
 // Option mutates a Config — the functional-options surface shared by
@@ -315,10 +318,10 @@ func runItem[T, R any](ctx context.Context, cfg Config, stage string, idx int, i
 		res.Attempts = attempt
 		cfg.observe(Event{Stage: stage, Kind: EventStart, Item: idx, Attempt: attempt})
 
-		attemptCtx := ctx
+		attemptCtx := WithAttempt(ctx, attempt)
 		cancel := context.CancelFunc(func() {})
 		if cfg.Timeout > 0 {
-			attemptCtx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+			attemptCtx, cancel = context.WithTimeout(attemptCtx, cfg.Timeout)
 		}
 		start := time.Now()
 		v, err := fn(attemptCtx, item)
@@ -335,6 +338,11 @@ func runItem[T, R any](ctx context.Context, cfg Config, stage string, idx int, i
 			return res
 		}
 		res.Err = err
+		if !IsRetryable(err) {
+			// Fatal errors (cancellation, parse failures, open circuit
+			// breakers) cannot be cured by retrying; stop immediately.
+			break
+		}
 		if attempt < attempts && ctx.Err() == nil {
 			st.retried()
 			cfg.observe(Event{Stage: stage, Kind: EventRetry, Item: idx, Attempt: attempt, Elapsed: elapsed, Err: err})

@@ -13,7 +13,9 @@ package fingerprint
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"regexp"
@@ -155,20 +157,29 @@ func (m StatusIs) Match(resp *httpwire.Response) bool { return resp.StatusCode =
 // Describe implements Matcher.
 func (m StatusIs) Describe() string { return fmt.Sprintf("status is %d", m.Code) }
 
-// ExtractTitle returns the contents of the first <title> element.
+// ExtractTitle returns the contents of the first <title> element. The
+// case-insensitive tag search lowercases ASCII byte-by-byte: a rune-wise
+// ToLower re-encodes invalid UTF-8 (scanned banners are hostile bytes,
+// not documents) and would shift the offsets used to slice the original.
 func ExtractTitle(body []byte) (string, bool) {
-	lower := strings.ToLower(string(body))
-	start := strings.Index(lower, "<title>")
+	lower := make([]byte, len(body))
+	for i, c := range body {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		lower[i] = c
+	}
+	start := bytes.Index(lower, []byte("<title>"))
 	if start < 0 {
 		return "", false
 	}
 	rest := lower[start+len("<title>"):]
-	end := strings.Index(rest, "</title>")
+	end := bytes.Index(rest, []byte("</title>"))
 	if end < 0 {
 		return "", false
 	}
-	orig := string(body)[start+len("<title>") : start+len("<title>")+end]
-	return strings.TrimSpace(orig), true
+	orig := body[start+len("<title>") : start+len("<title>")+end]
+	return strings.TrimSpace(string(orig)), true
 }
 
 // Probe describes one request the engine sends while profiling a host.
@@ -290,17 +301,29 @@ func (e *Engine) timeout() time.Duration {
 }
 
 // Identify probes addr and returns every signature match, sorted by
-// (product, port).
+// (product, port). A probe that fails at the transport layer is skipped;
+// if every probe fails that way the host yielded no evidence at all and
+// Identify returns the last transport error, so callers can retry or
+// record the candidate as unverifiable instead of silently treating it
+// as a clean non-match.
 func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error) {
 	if e.Vantage == nil {
 		return nil, fmt.Errorf("fingerprint: no vantage host")
 	}
 	var out []Match
+	fetched := 0
+	var lastErr error
 	for _, p := range e.probes() {
-		resp, ok := e.fetch(ctx, addr, p)
-		if !ok {
+		resp, err := e.fetch(ctx, addr, p)
+		if err != nil {
+			// A refusal is a definite observation — the host is up with no
+			// service on that port — not lost evidence.
+			if !errors.Is(err, netsim.ErrConnRefused) {
+				lastErr = err
+			}
 			continue
 		}
+		fetched++
 		for _, sig := range e.registry().Signatures() {
 			if sig.Matches(resp) {
 				out = append(out, Match{
@@ -313,6 +336,9 @@ func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error)
 				})
 			}
 		}
+	}
+	if fetched == 0 && lastErr != nil {
+		return nil, fmt.Errorf("fingerprint %s: every probe failed: %w", addr, lastErr)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Product != out[j].Product {
@@ -344,12 +370,12 @@ func (e *Engine) Products(ctx context.Context, addr netip.Addr) ([]string, error
 	return out, nil
 }
 
-func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe) (*httpwire.Response, bool) {
+func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe) (*httpwire.Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, e.timeout())
 	defer cancel()
 	conn, err := e.Vantage.Dial(ctx, addr, p.Port)
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
 	defer conn.Close()
 	if dl, ok := ctx.Deadline(); ok {
@@ -362,11 +388,11 @@ func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe) (*httpwire
 		Header: httpwire.NewHeader("Host", addr.String(), "Connection", "close", "User-Agent", "WhatWeb-sim/0.4"),
 	}
 	if _, err := req.WriteTo(conn); err != nil {
-		return nil, false
+		return nil, err
 	}
 	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), false)
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
-	return resp, true
+	return resp, nil
 }

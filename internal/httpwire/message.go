@@ -159,7 +159,12 @@ func (r *Request) WriteTo(w io.Writer) (int64, error) {
 	if hdr == nil {
 		hdr = &Header{}
 	}
-	if len(r.Body) > 0 || r.Method == "POST" || r.Method == "PUT" {
+	// A request parsed off the wire may carry its original chunked
+	// framing header with the body already decoded; re-chunk on write so
+	// the serialized form stays parseable (the reader gives
+	// Transfer-Encoding precedence over Content-Length).
+	chunked := strings.EqualFold(hdr.Get("Transfer-Encoding"), "chunked")
+	if !chunked && (len(r.Body) > 0 || r.Method == "POST" || r.Method == "PUT") {
 		if !hdr.Has("Content-Length") {
 			hdr = hdr.Clone()
 			hdr.Set("Content-Length", strconv.Itoa(len(r.Body)))
@@ -169,8 +174,15 @@ func (r *Request) WriteTo(w io.Writer) (int64, error) {
 	b.WriteString("\r\n")
 	n, err := io.WriteString(w, b.String())
 	total := int64(n)
-	if err != nil || len(r.Body) == 0 {
+	if err != nil {
 		return total, err
+	}
+	if chunked {
+		m, err := writeChunked(w, r.Body)
+		return total + m, err
+	}
+	if len(r.Body) == 0 {
+		return total, nil
 	}
 	m, err := w.Write(r.Body)
 	return total + int64(m), err

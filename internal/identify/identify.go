@@ -78,6 +78,19 @@ func (e QueryError) Error() string {
 // Unwrap exposes the cause.
 func (e QueryError) Unwrap() error { return e.Err }
 
+// StageError records one pipeline-stage failure the run survived. The
+// error is kept as text so reports and JSON documents marshal it without
+// caring about concrete error types.
+type StageError struct {
+	// Stage is the pipeline stage that failed (StageValidate, StageWhois…).
+	Stage string
+	// Target names what failed: a candidate address, or "bulk" for the
+	// whois batch lookup.
+	Target string
+	// Err is the failure text.
+	Err string
+}
+
 // Report is the pipeline outcome.
 type Report struct {
 	// Installations are the validated hosts, sorted by address.
@@ -93,6 +106,13 @@ type Report struct {
 	// by (product, query). The run continues past them; callers decide
 	// whether partial coverage is acceptable.
 	QueryErrors []QueryError
+	// Errors lists stage-level failures the run survived — candidate
+	// validations that kept failing, a dead whois lookup — sorted by
+	// (stage, target). Installations reflects whatever coverage remained.
+	Errors []StageError
+	// Degraded reports that the run completed with partial coverage:
+	// at least one stage or query error occurred.
+	Degraded bool
 }
 
 // ProductCountries maps each product to the sorted set of countries where
@@ -192,7 +212,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 
-	vals, err := p.runValidation(ctx, addrs, report.CandidatesByProduct)
+	vals, err := p.runValidation(ctx, addrs, report.CandidatesByProduct, report)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +221,14 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 	if err := p.runGeoMapping(ctx, vals, report); err != nil {
 		return nil, err
 	}
+	sort.Slice(report.Errors, func(i, j int) bool {
+		a, b := report.Errors[i], report.Errors[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Target < b.Target
+	})
+	report.Degraded = len(report.Errors) > 0 || len(report.QueryErrors) > 0
 	return report, nil
 }
 
@@ -288,8 +316,11 @@ type validated struct {
 
 // runValidation is stage 2: fingerprint validation, parallel across
 // candidate addresses. Output preserves the (sorted) candidate order, so
-// the result is deterministic for any worker count.
-func (p *Pipeline) runValidation(ctx context.Context, addrs []netip.Addr, candidatesByProduct map[string][]netip.Addr) ([]validated, error) {
+// the result is deterministic for any worker count. A candidate whose
+// validation keeps failing is recorded in report.Errors and dropped —
+// partial coverage beats a dead run. The configured Breaker (if any)
+// stops retry burn per candidate address.
+func (p *Pipeline) runValidation(ctx context.Context, addrs []netip.Addr, candidatesByProduct map[string][]netip.Addr, report *Report) ([]validated, error) {
 	if p.SkipValidation {
 		out := make([]validated, 0, len(addrs))
 		for _, addr := range addrs {
@@ -301,11 +332,18 @@ func (p *Pipeline) runValidation(ctx context.Context, addrs []netip.Addr, candid
 		return out, nil
 	}
 
-	results, err := engine.Map(ctx, p.Config, StageValidate, addrs, func(ctx context.Context, addr netip.Addr) (*validated, error) {
+	results := engine.MapResults(ctx, p.Config, StageValidate, addrs, func(ctx context.Context, addr netip.Addr) (*validated, error) {
+		key := "validate:" + addr.String()
+		if !p.Config.Breaker.Allow(key) {
+			return nil, engine.Fatal(fmt.Errorf("identify: fingerprint %s: %w", addr, engine.ErrCircuitOpen))
+		}
 		matches, err := p.Fingerprinter.Identify(ctx, addr)
 		if err != nil {
-			return nil, fmt.Errorf("identify: fingerprint %s: %w", addr, err)
+			err = fmt.Errorf("identify: fingerprint %s: %w", addr, err)
+			p.Config.Breaker.Record(key, err)
+			return nil, err
 		}
+		p.Config.Breaker.Record(key, nil)
 		if len(matches) == 0 {
 			return nil, nil
 		}
@@ -320,13 +358,17 @@ func (p *Pipeline) runValidation(ctx context.Context, addrs []netip.Addr, candid
 		sort.Strings(products)
 		return &validated{addr: addr, products: products, matches: matches}, nil
 	})
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var vals []validated
-	for _, v := range results {
-		if v != nil {
-			vals = append(vals, *v)
+	for i, r := range results {
+		if r.Err != nil {
+			report.Errors = append(report.Errors, StageError{Stage: StageValidate, Target: addrs[i].String(), Err: r.Err.Error()})
+			continue
+		}
+		if r.Value != nil {
+			vals = append(vals, *r.Value)
 		}
 	}
 	return vals, nil
@@ -344,11 +386,17 @@ func (p *Pipeline) runGeoMapping(ctx context.Context, vals []validated, report *
 		start := time.Now()
 		results, err := p.Whois.Lookup(ctx, valAddrs)
 		p.Config.Stats.Stage(StageWhois).Record(time.Since(start), err == nil)
-		if err != nil {
-			return fmt.Errorf("identify: whois: %w", err)
-		}
-		for _, r := range results {
-			whoisResults[r.Addr] = r
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil:
+			// A dead whois service degrades the report (no ASN/AS-name
+			// columns) instead of killing it; geolocation still works.
+			report.Errors = append(report.Errors, StageError{Stage: StageWhois, Target: "bulk", Err: err.Error()})
+		default:
+			for _, r := range results {
+				whoisResults[r.Addr] = r
+			}
 		}
 	}
 

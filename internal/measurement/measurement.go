@@ -15,6 +15,7 @@ package measurement
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"filtermap/internal/blockpage"
@@ -122,6 +123,27 @@ type Result struct {
 	Matched bool
 }
 
+// Degraded reports whether a transport failure kept this comparison from
+// being conclusive, with a short detail line for degraded-result reports.
+// A recognized block page is conclusive evidence no matter how the rest
+// of the exchange went, so matched results are never degraded.
+func (r *Result) Degraded() (string, bool) {
+	if r.Matched {
+		return "", false
+	}
+	var parts []string
+	if r.Field.Err != nil {
+		parts = append(parts, "field: "+r.Field.Err.Error())
+	}
+	if r.Lab.Err != nil {
+		parts = append(parts, "lab: "+r.Lab.Err.Error())
+	}
+	if len(parts) == 0 {
+		return "", false
+	}
+	return strings.Join(parts, "; "), true
+}
+
 // Client is the dual-vantage measurement client.
 type Client struct {
 	// Field is the in-country vantage.
@@ -191,14 +213,56 @@ func (c *Client) TestURL(ctx context.Context, rawurl string) Result {
 // amenable to manual analysis", so the lists are small but each URL costs
 // two fetches — parallelism pays). A cancelled context truncates the
 // tail: undispatched URLs are dropped, matching the old serial behavior.
+//
+// A transport-degraded comparison (field or lab fetch error without a
+// conclusive block page) is returned to the engine as an item error, so
+// the configured RetryPolicy re-tests the URL; if every attempt stays
+// degraded the last attempt's Result is still delivered — callers get a
+// partial result to report, never a silent hole. A configured Breaker
+// (engine.WithBreaker) stops the retry burn per URL once its circuit
+// opens.
 func (c *Client) TestList(ctx context.Context, urls []string) []Result {
-	results := engine.MapResults(ctx, c.engineConfig(), StageMeasure, urls, func(ctx context.Context, u string) (Result, error) {
-		return c.TestURL(ctx, u), nil
+	cfg := c.engineConfig()
+	// Each index is one worker's item, so last[i] is written only by the
+	// worker that owns it — no locking, and results stay deterministic.
+	last := make([]Result, len(urls))
+	idxs := make([]int, len(urls))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	// Breaker keys are scoped to the field vantage: concurrent TestList
+	// runs from different vantages (characterization runs every ISP in
+	// parallel) must not share circuit state for a URL, or whether one
+	// vantage's failures suppress another's measurement would depend on
+	// worker scheduling and break run determinism.
+	vantage := ""
+	if c.Field != nil {
+		vantage = c.Field.Name
+	}
+	results := engine.MapResults(ctx, cfg, StageMeasure, idxs, func(ctx context.Context, i int) (Result, error) {
+		u := urls[i]
+		key := "measure:" + vantage + ":" + u
+		if !cfg.Breaker.Allow(key) {
+			return Result{}, engine.Fatal(fmt.Errorf("measure %s: %w", u, engine.ErrCircuitOpen))
+		}
+		r := c.TestURL(ctx, u)
+		last[i] = r
+		if detail, degraded := r.Degraded(); degraded {
+			err := fmt.Errorf("measure %s: %s", u, detail)
+			cfg.Breaker.Record(key, err)
+			return Result{}, err
+		}
+		cfg.Breaker.Record(key, nil)
+		return r, nil
 	})
 	out := make([]Result, 0, len(urls))
-	for _, r := range results {
+	for i, r := range results {
 		if r.Err != nil {
-			// Only cancellation produces an error here; drop the item.
+			// Keep the last attempt's partial result; an item with no
+			// recorded attempt (cancelled before dispatch) has none.
+			if last[i].URL != "" {
+				out = append(out, last[i])
+			}
 			continue
 		}
 		out = append(out, r.Value)

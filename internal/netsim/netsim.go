@@ -164,6 +164,7 @@ type Network struct {
 	ases        map[int]*AS
 	isps        map[string]*ISP
 	dialLatency time.Duration
+	faults      *FaultPlan
 	closed      bool
 }
 
@@ -434,6 +435,24 @@ func (n *Network) dial(ctx context.Context, src *Host, dst netip.Addr, port uint
 
 	info := DialInfo{Src: src.addr, Dst: dst, Port: port, Hostname: hostname}
 
+	// Fault injection: the installed FaultPlan (if any) may decide the
+	// dial outright (timeout, flap, synthetic 503), delay it (slow drip),
+	// or hand back a wrapper that mangles the byte stream once routing
+	// establishes the connection.
+	faultedConn, faultErr, wrap := n.injectFault(ctx, info)
+	if faultErr != nil {
+		return nil, faultErr
+	}
+	if faultedConn != nil {
+		return faultedConn, nil
+	}
+	wrapConn := func(c net.Conn) net.Conn {
+		if wrap != nil {
+			return wrap(c)
+		}
+		return c
+	}
+
 	// Egress interception: traffic from an ISP subscriber to a destination
 	// outside that ISP passes through the ISP's middlebox, if one is
 	// installed. Same-ISP traffic (e.g. to the filter's own admin console)
@@ -446,7 +465,7 @@ func (n *Network) dial(ctx context.Context, src *Host, dst netip.Addr, port uint
 					simAddr{addr: dst, port: port},
 				)
 				go h.ServeConn(server, info)
-				return client, nil
+				return wrapConn(client), nil
 			}
 		}
 	}
@@ -454,7 +473,11 @@ func (n *Network) dial(ctx context.Context, src *Host, dst netip.Addr, port uint
 	if dstHost == nil {
 		return nil, fmt.Errorf("%w: %s", ErrHostUnreach, dst)
 	}
-	return dstHost.deliver(src, port, info)
+	c, err := dstHost.deliver(src, port, info)
+	if err != nil {
+		return nil, err
+	}
+	return wrapConn(c), nil
 }
 
 func sameISP(isp *ISP, dst *Host) bool {

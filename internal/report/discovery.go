@@ -91,6 +91,17 @@ func Discovery(rounds, budget int, targets []DiscoveryTarget, discovered urllist
 	b.WriteString(novel.String())
 	fmt.Fprintf(&b, "\nDiscovered list: %d unique URLs under synthetic theme %q.\n",
 		len(discovered.Entries), urllist.ThemeDiscovered)
+	var degraded []string
+	for _, t := range targets {
+		if t.Report.Degraded {
+			degraded = append(degraded, fmt.Sprintf("  %s (%s, AS %d): %d degraded probe(s)",
+				t.ISP, t.Country, t.ASN, len(t.Report.Errors)))
+		}
+	}
+	if len(degraded) > 0 {
+		fmt.Fprintf(&b, "DEGRADED: %d crawl(s) had transport-degraded probes:\n%s\n",
+			len(degraded), strings.Join(degraded, "\n"))
+	}
 	return b.String()
 }
 
@@ -103,6 +114,8 @@ type DiscoveryDoc struct {
 	// Discovered is the deduplicated, sorted synthetic "discovered" list
 	// assembled from the targets' novel findings.
 	Discovered []DiscoveredURLDoc `json:"discovered"`
+	// Degraded reports that at least one target's crawl was degraded.
+	Degraded bool `json:"degraded,omitempty"`
 	// Stats optionally carries the engine's per-stage execution snapshot.
 	Stats *engine.Snapshot `json:"stats,omitempty"`
 }
@@ -117,6 +130,10 @@ type DiscoveryTargetDoc struct {
 	BudgetExhausted bool                  `json:"budget_exhausted"`
 	Rounds          []DiscoveryRoundDoc   `json:"rounds"`
 	Findings        []DiscoveryFindingDoc `json:"findings"`
+	// Errors lists transport-degraded probes ("URL: detail") in probe
+	// order; Degraded marks the crawl as partial.
+	Errors   []string `json:"errors,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
 }
 
 // DiscoveryRoundDoc is one crawl round's statistics.
@@ -160,6 +177,8 @@ func DiscoveryJSON(rounds, budget int, targets []DiscoveryTarget, discovered url
 			Seeds:           t.Report.Seeds,
 			Probed:          t.Report.Probed,
 			BudgetExhausted: t.Report.BudgetExhausted,
+			Errors:          t.Report.Errors,
+			Degraded:        t.Report.Degraded,
 		}
 		for _, r := range t.Report.Rounds {
 			td.Rounds = append(td.Rounds, DiscoveryRoundDoc(r))
@@ -175,6 +194,9 @@ func DiscoveryJSON(rounds, budget int, targets []DiscoveryTarget, discovered url
 				Round:    f.Round,
 				Novel:    f.Novel,
 			})
+		}
+		if td.Degraded {
+			doc.Degraded = true
 		}
 		doc.Targets = append(doc.Targets, td)
 	}

@@ -84,6 +84,10 @@ type IdentifyDoc struct {
 	FalsePositiveRate float64             `json:"false_positive_rate"`
 	Installations     []InstallationDoc   `json:"installations"`
 	QueryErrors       []QueryErrorDoc     `json:"query_errors,omitempty"`
+	// StageErrors lists stage-level failures the run survived; Degraded
+	// marks the report as partial (any stage or query error).
+	StageErrors []StageErrorDoc `json:"stage_errors,omitempty"`
+	Degraded    bool            `json:"degraded,omitempty"`
 	// Stats optionally carries the engine's per-stage execution snapshot
 	// (machine-readable -stats / ?stats=1; omitted unless requested).
 	Stats *engine.Snapshot `json:"stats,omitempty"`
@@ -104,6 +108,13 @@ type QueryErrorDoc struct {
 	Product string `json:"product"`
 	Query   string `json:"query"`
 	Error   string `json:"error"`
+}
+
+// StageErrorDoc is one survived pipeline-stage failure.
+type StageErrorDoc struct {
+	Stage  string `json:"stage"`
+	Target string `json:"target"`
+	Error  string `json:"error"`
 }
 
 // IdentifyJSON builds the identification document from a §3 report.
@@ -131,12 +142,22 @@ func IdentifyJSON(rep *identify.Report) IdentifyDoc {
 			Error:   qe.Err.Error(),
 		})
 	}
+	for _, se := range rep.Errors {
+		doc.StageErrors = append(doc.StageErrors, StageErrorDoc{
+			Stage:  se.Stage,
+			Target: se.Target,
+			Error:  se.Err,
+		})
+	}
+	doc.Degraded = rep.Degraded
 	return doc
 }
 
 // Table3Doc is the JSON rendering of the confirmation case studies.
 type Table3Doc struct {
 	Rows []Table3RowDoc `json:"rows"`
+	// Degraded reports that at least one campaign ran on partial evidence.
+	Degraded bool `json:"degraded,omitempty"`
 	// Stats optionally carries the engine's per-stage execution snapshot.
 	Stats *engine.Snapshot `json:"stats,omitempty"`
 }
@@ -159,6 +180,11 @@ type Table3RowDoc struct {
 	PreTest         bool `json:"pre_test"`
 	PreTestClean    bool `json:"pre_test_clean"`
 	Confirmed       bool `json:"confirmed"`
+	// SubmitErrors and MeasurementErrors enumerate the campaign's partial
+	// evidence; Degraded marks it.
+	SubmitErrors      []string `json:"submit_errors,omitempty"`
+	MeasurementErrors []string `json:"measurement_errors,omitempty"`
+	Degraded          bool     `json:"degraded,omitempty"`
 }
 
 // Table3JSON builds the confirmation document from campaign outcomes.
@@ -166,21 +192,30 @@ func Table3JSON(outcomes []*confirm.Outcome) Table3Doc {
 	var doc Table3Doc
 	for _, o := range outcomes {
 		c := o.Campaign
-		doc.Rows = append(doc.Rows, Table3RowDoc{
-			Product:         c.Product,
-			Country:         c.Country,
-			ISP:             c.ISP,
-			ASN:             c.ASN,
-			Date:            c.Date,
-			Category:        c.CategoryLabel,
-			Submitted:       len(o.Submitted),
-			Domains:         len(o.Submitted) + len(o.Controls),
-			Blocked:         o.BlockedSubmitted,
-			BlockedControls: o.BlockedControls,
-			PreTest:         c.PreTest,
-			PreTestClean:    o.PreTestClean,
-			Confirmed:       o.Confirmed,
-		})
+		row := Table3RowDoc{
+			Product:           c.Product,
+			Country:           c.Country,
+			ISP:               c.ISP,
+			ASN:               c.ASN,
+			Date:              c.Date,
+			Category:          c.CategoryLabel,
+			Submitted:         len(o.Submitted),
+			Domains:           len(o.Submitted) + len(o.Controls),
+			Blocked:           o.BlockedSubmitted,
+			BlockedControls:   o.BlockedControls,
+			PreTest:           c.PreTest,
+			PreTestClean:      o.PreTestClean,
+			Confirmed:         o.Confirmed,
+			MeasurementErrors: o.MeasurementErrors(),
+			Degraded:          o.Degraded(),
+		}
+		for _, e := range o.SubmitErrors {
+			row.SubmitErrors = append(row.SubmitErrors, e.Error())
+		}
+		if row.Degraded {
+			doc.Degraded = true
+		}
+		doc.Rows = append(doc.Rows, row)
 	}
 	return doc
 }
@@ -193,6 +228,8 @@ type Table4Doc struct {
 	Columns []Table4ColumnDoc  `json:"columns"`
 	Rows    []Table4RowDoc     `json:"rows"`
 	Reports []CountryReportDoc `json:"reports"`
+	// Degraded reports that at least one run had partial measurements.
+	Degraded bool `json:"degraded,omitempty"`
 	// Stats optionally carries the engine's per-stage execution snapshot.
 	Stats *engine.Snapshot `json:"stats,omitempty"`
 }
@@ -218,6 +255,10 @@ type CountryReportDoc struct {
 	ISP     string          `json:"isp"`
 	ASN     int             `json:"asn"`
 	Blocked []BlockedURLDoc `json:"blocked"`
+	// Errors lists transport-degraded measurements ("URL: detail");
+	// Degraded marks the run as partial.
+	Errors   []string `json:"errors,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
 }
 
 // BlockedURLDoc is one blocked list URL with its attribution.
@@ -254,7 +295,7 @@ func Table4JSON(reports []*characterize.Report) Table4Doc {
 		})
 	}
 	for _, rep := range reports {
-		crd := CountryReportDoc{Country: rep.Country, ISP: rep.ISP, ASN: rep.ASN}
+		crd := CountryReportDoc{Country: rep.Country, ISP: rep.ISP, ASN: rep.ASN, Errors: rep.Errors, Degraded: rep.Degraded}
 		for _, b := range rep.Blocked {
 			crd.Blocked = append(crd.Blocked, BlockedURLDoc{
 				URL:      b.Entry.URL,
@@ -263,6 +304,9 @@ func Table4JSON(reports []*characterize.Report) Table4Doc {
 				Pattern:  b.Pattern,
 				FromList: b.FromList,
 			})
+		}
+		if rep.Degraded {
+			doc.Degraded = true
 		}
 		doc.Reports = append(doc.Reports, crd)
 	}

@@ -117,12 +117,15 @@ func Table2(keywords map[string][]string, signatures map[string][]string) string
 	return t.String()
 }
 
-// Table3 renders the confirmation case studies.
+// Table3 renders the confirmation case studies. Campaigns that ran on
+// partial evidence (failed submissions, degraded measurements) get a
+// degraded footer; with no degradation the output is unchanged.
 func Table3(outcomes []*confirm.Outcome) string {
 	t := &Table{
 		Title:   "Table 3: Summary of URL filter case studies.",
 		Headers: []string{"Product", "Country", "ISP", "Date", "Sites submitted", "Category", "Sites blocked", "Confirmed?"},
 	}
+	var degraded []string
 	for _, o := range outcomes {
 		c := o.Campaign
 		confirmed := "no"
@@ -139,8 +142,17 @@ func Table3(outcomes []*confirm.Outcome) string {
 			o.Ratio(),
 			confirmed,
 		)
+		if o.Degraded() {
+			degraded = append(degraded, fmt.Sprintf("  %s/%s (AS %d): %d submit error(s), %d degraded measurement(s)",
+				c.Product, c.ISP, c.ASN, len(o.SubmitErrors), len(o.MeasurementErrors())))
+		}
 	}
-	return t.String()
+	out := t.String()
+	if len(degraded) > 0 {
+		out += fmt.Sprintf("DEGRADED: %d campaign(s) ran on partial evidence:\n%s\n",
+			len(degraded), strings.Join(degraded, "\n"))
+	}
+	return out
 }
 
 // Table4 renders the blocked-content matrix.
@@ -170,6 +182,26 @@ func Table4(rows []characterize.MatrixRow) string {
 		t.AddRow(cells...)
 	}
 	return t.String()
+}
+
+// Table4WithReports renders the blocked-content matrix from the raw
+// characterization reports, appending a degraded footer when any run
+// carried transport-degraded measurements. With clean runs the output is
+// byte-identical to Table4(characterize.Matrix(reports)).
+func Table4WithReports(reports []*characterize.Report) string {
+	out := Table4(characterize.Matrix(reports))
+	var degraded []string
+	for _, rep := range reports {
+		if rep.Degraded {
+			degraded = append(degraded, fmt.Sprintf("  %s %s (AS %d): %d degraded measurement(s)",
+				rep.Country, rep.ISP, rep.ASN, len(rep.Errors)))
+		}
+	}
+	if len(degraded) > 0 {
+		out += fmt.Sprintf("DEGRADED: %d characterization run(s) had partial measurements:\n%s\n",
+			len(degraded), strings.Join(degraded, "\n"))
+	}
+	return out
 }
 
 // Table5Row is one methods/limitations row.
@@ -209,6 +241,16 @@ func Figure1(rep *identify.Report) string {
 	}
 	fmt.Fprintf(&b, "  (%d candidate IPs from keyword search, %d validated; false-positive rate %.0f%%)\n",
 		rep.CandidateCount, rep.ValidatedCount, rep.FalsePositiveRate()*100)
+	if rep.Degraded {
+		fmt.Fprintf(&b, "  DEGRADED: partial coverage (%d stage error(s), %d query error(s))\n",
+			len(rep.Errors), len(rep.QueryErrors))
+		for _, e := range rep.Errors {
+			fmt.Fprintf(&b, "    %s %s: %s\n", e.Stage, e.Target, e.Err)
+		}
+		for _, qe := range rep.QueryErrors {
+			fmt.Fprintf(&b, "    query %s %q: %v\n", qe.Product, qe.Query, qe.Err)
+		}
+	}
 	return b.String()
 }
 

@@ -280,6 +280,9 @@ type JobDoc struct {
 	Finished *time.Time      `json:"finished,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
+	// Degraded mirrors the result document's top-level degraded marker,
+	// so job listings surface partial runs without shipping result bodies.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // doc freezes a job into its JSON form. includeResult controls whether
@@ -302,8 +305,16 @@ func (m *jobManager) doc(j *job, includeResult bool) JobDoc {
 		t := j.finished
 		d.Finished = &t
 	}
-	if includeResult && j.state == JobDone {
-		d.Result = json.RawMessage(j.result)
+	if j.state == JobDone {
+		var probe struct {
+			Degraded bool `json:"degraded"`
+		}
+		if json.Unmarshal(j.result, &probe) == nil {
+			d.Degraded = probe.Degraded
+		}
+		if includeResult {
+			d.Result = json.RawMessage(j.result)
+		}
 	}
 	return d
 }

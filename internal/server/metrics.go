@@ -21,6 +21,9 @@ type metrics struct {
 	coalesced uint64
 	limited   uint64
 	runs      map[string]uint64
+	// runsDegraded counts, per kind, runs whose report came back with a
+	// Degraded marker (partial results under fault injection).
+	runsDegraded map[string]uint64
 
 	snapshots        uint64
 	snapshotsDeduped uint64
@@ -44,6 +47,7 @@ func newMetrics(now time.Time) *metrics {
 		startedAt:    now,
 		endpoints:    make(map[string]*endpointStats),
 		runs:         make(map[string]uint64),
+		runsDegraded: make(map[string]uint64),
 		engineStats:  engine.NewStats(),
 		engineEvents: engine.NewCountingObserver(),
 	}
@@ -95,6 +99,14 @@ func (m *metrics) run(kind string) {
 	m.mu.Unlock()
 }
 
+// runDegraded accounts one pipeline execution that completed with
+// partial results.
+func (m *metrics) runDegraded(kind string) {
+	m.mu.Lock()
+	m.runsDegraded[kind]++
+	m.mu.Unlock()
+}
+
 // MetricsDoc is the GET /metrics response body.
 type MetricsDoc struct {
 	UptimeSeconds float64                       `json:"uptime_seconds"`
@@ -102,6 +114,9 @@ type MetricsDoc struct {
 	Cache         CacheDoc                      `json:"cache"`
 	Jobs          JobCountsDoc                  `json:"jobs"`
 	Runs          map[string]uint64             `json:"runs"`
+	// RunsDegraded counts runs that completed with partial results,
+	// per kind (omitted while empty).
+	RunsDegraded map[string]uint64 `json:"runs_degraded,omitempty"`
 	RateLimited   uint64                        `json:"rate_limited"`
 	Snapshots     SnapshotCountsDoc             `json:"snapshots"`
 	Engine        engine.Snapshot               `json:"engine"`
@@ -175,6 +190,12 @@ func (m *metrics) snapshot(now time.Time, cacheEntries int, jobs JobCountsDoc, s
 	}
 	for kind, n := range m.runs {
 		doc.Runs[kind] = n
+	}
+	if len(m.runsDegraded) > 0 {
+		doc.RunsDegraded = make(map[string]uint64, len(m.runsDegraded))
+		for kind, n := range m.runsDegraded {
+			doc.RunsDegraded[kind] = n
+		}
 	}
 	m.mu.Unlock()
 

@@ -485,7 +485,27 @@ func (s *Server) execute(ctx context.Context, kind string, req any) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
+	if docDegraded(doc) {
+		s.metrics.runDegraded(kind)
+	}
 	return json.Marshal(doc)
+}
+
+// docDegraded reports whether a pipeline document carries the Degraded
+// marker — the run completed on partial results.
+func docDegraded(doc any) bool {
+	switch d := doc.(type) {
+	case report.IdentifyDoc:
+		return d.Degraded
+	case report.Table3Doc:
+		return d.Degraded
+	case report.Table4Doc:
+		return d.Degraded
+	case report.DiscoveryDoc:
+		return d.Degraded
+	default:
+		return false
+	}
 }
 
 // runIdentify executes the §3 pipeline. Default-world requests reuse the

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStorePropertyRandomOps drives the store through seeded random
+// sequences of append / duplicate-append / reopen / compact and checks,
+// after every operation, that no acknowledged snapshot is ever lost and
+// that every selector form still resolves to it. The segment threshold
+// is tiny so rotation, sealed-segment indexing and compaction all run
+// constantly rather than only at 4 MiB scale.
+func TestStorePropertyRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 7, 20130827} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testStoreRandomOps(t, rand.New(rand.NewSource(seed)))
+		})
+	}
+}
+
+// ack is one acknowledged append: what the store promised to keep.
+type ack struct {
+	seq  uint64
+	id   string
+	kind string
+	body string
+}
+
+func testStoreRandomOps(t *testing.T, rng *rand.Rand) {
+	dir := t.TempDir()
+	open := func() *Store {
+		s, err := Open(dir, WithMaxSegmentBytes(512), WithoutSync())
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return s
+	}
+	s := open()
+	defer func() { s.Close() }()
+
+	kinds := []string{"identify", "table4", "discovery"}
+	configs := []string{"cfg-a", "cfg-b"}
+	base := time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	acked := make(map[uint64]ack) // seq -> newest acknowledged content
+	var order []uint64            // distinct seqs in append order
+	var last ack
+	haveLast := false
+
+	appendOne := func(dup bool) {
+		var snap Snapshot
+		if dup && haveLast {
+			// Re-submit the previous content under its own kind/config:
+			// the store must dedupe onto the same record, not mint a new
+			// sequence number.
+			prev := acked[last.seq]
+			snap = Snapshot{Kind: prev.kind, At: base, Config: configFor(t, s, prev.seq), Body: json.RawMessage(prev.body)}
+		} else {
+			body := fmt.Sprintf(`{"n":%d,"pad":"%x"}`, rng.Intn(1000), rng.Int63())
+			snap = Snapshot{
+				Kind:   kinds[rng.Intn(len(kinds))],
+				At:     base.Add(time.Duration(len(order)) * time.Hour),
+				Config: configs[rng.Intn(len(configs))],
+				Body:   json.RawMessage(body),
+			}
+		}
+		meta, err := s.Append(snap)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if meta.Deduped {
+			prev, ok := acked[meta.Seq]
+			if !ok {
+				t.Fatalf("dedup onto unknown seq %d", meta.Seq)
+			}
+			if prev.id != meta.ID {
+				t.Fatalf("dedup changed id: %s -> %s", prev.id, meta.ID)
+			}
+			return
+		}
+		if _, exists := acked[meta.Seq]; exists {
+			t.Fatalf("append reused live seq %d", meta.Seq)
+		}
+		canon, err := canonicalBody(snap.Body)
+		if err != nil {
+			t.Fatalf("canonicalize: %v", err)
+		}
+		a := ack{seq: meta.Seq, id: meta.ID, kind: meta.Kind, body: string(canon)}
+		acked[meta.Seq] = a
+		order = append(order, meta.Seq)
+		last, haveLast = a, true
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		if got := s.Count(); got != len(order) {
+			t.Fatalf("%s: Count = %d, want %d", stage, got, len(order))
+		}
+		metas := s.List(Query{})
+		if len(metas) != len(order) {
+			t.Fatalf("%s: List = %d records, want %d", stage, len(metas), len(order))
+		}
+		for i, m := range metas {
+			if m.Seq != order[i] {
+				t.Fatalf("%s: List[%d].Seq = %d, want %d (order drifted)", stage, i, m.Seq, order[i])
+			}
+		}
+		for _, seq := range order {
+			want := acked[seq]
+			m, body, err := s.Get(fmt.Sprintf("%d", seq))
+			if err != nil {
+				t.Fatalf("%s: lost acknowledged seq %d: %v", stage, seq, err)
+			}
+			if m.ID != want.id || m.Kind != want.kind {
+				t.Fatalf("%s: seq %d drifted: id %s kind %s, want %s %s", stage, seq, m.ID, m.Kind, want.id, want.kind)
+			}
+			if string(body) != want.body {
+				t.Fatalf("%s: seq %d body drifted:\n got %s\nwant %s", stage, seq, body, want.body)
+			}
+			if m2, _, err := s.Get(want.id); err != nil || m2.ID != want.id {
+				t.Fatalf("%s: content-ID selector %q broken: %v", stage, want.id, err)
+			}
+		}
+		if len(order) > 0 {
+			tail := acked[order[len(order)-1]]
+			m, _, err := s.Get("latest")
+			if err != nil || m.Seq != tail.seq {
+				t.Fatalf("%s: latest = seq %d err %v, want seq %d", stage, m.Seq, err, tail.seq)
+			}
+			for _, kind := range kinds {
+				var want uint64
+				for i := len(order) - 1; i >= 0; i-- {
+					if acked[order[i]].kind == kind {
+						want = order[i]
+						break
+					}
+				}
+				m, _, err := s.Get("latest:" + kind)
+				if want == 0 {
+					if err == nil {
+						t.Fatalf("%s: latest:%s resolved with no %s snapshots", stage, kind, kind)
+					}
+					continue
+				}
+				if err != nil || m.Seq != want {
+					t.Fatalf("%s: latest:%s = seq %d err %v, want seq %d", stage, kind, m.Seq, err, want)
+				}
+			}
+		}
+	}
+
+	const ops = 250
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 55:
+			appendOne(false)
+		case r < 70:
+			appendOne(true)
+		case r < 85:
+			if err := s.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			s = open()
+		default:
+			if err := s.Compact(); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+		}
+		check(fmt.Sprintf("op %d", i))
+	}
+	// Final reopen after a compact: the rewritten log must still carry
+	// every acknowledged record.
+	if err := s.Compact(); err != nil {
+		t.Fatalf("final compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+	s = open()
+	check("final reopen")
+}
+
+// configFor recovers a stored record's config hash so a duplicate append
+// targets the same (kind, config) dedup bucket.
+func configFor(t *testing.T, s *Store, seq uint64) string {
+	t.Helper()
+	m, _, err := s.Get(fmt.Sprintf("%d", seq))
+	if err != nil {
+		t.Fatalf("configFor seq %d: %v", seq, err)
+	}
+	return m.Config
+}

@@ -1,0 +1,25 @@
+package version
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestStringNonEmpty(t *testing.T) {
+	if String() == "" {
+		t.Fatal("version.String returned empty")
+	}
+}
+
+func TestFlagRegistersVersion(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	check := Flag(fs, "x")
+	if fs.Lookup("version") == nil {
+		t.Fatal("-version not registered")
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Flag unset: the check must return instead of exiting the process.
+	check()
+}

@@ -82,6 +82,21 @@ type Options struct {
 	// DisableDuSyncLag gives Du the same frequent sync schedule as the
 	// other deployments, turning Table 3's 5/6 into 6/6 (an ablation).
 	DisableDuSyncLag bool
+
+	// ChaosSeed, when nonzero, installs a deterministic fault-injection
+	// plan on the simulated network (netsim.FaultPlan): the same seed
+	// yields the same failure sequence at any worker count. Chaos mode
+	// also installs a default retry policy and circuit breaker on the
+	// engine config when the caller set none, so the hardening paths
+	// actually run.
+	//
+	// Both chaos fields are omitempty so chaos-free configurations keep
+	// the ConfigHash they had before fault injection existed (snapshot
+	// IDs and cache keys are derived from it).
+	ChaosSeed uint64 `json:",omitempty"`
+	// FaultProfile names the fault plan ChaosSeed parameterizes (see
+	// netsim.FaultProfiles; "" means netsim.DefaultFaultProfile).
+	FaultProfile string `json:",omitempty"`
 }
 
 // World is the assembled simulation.
@@ -138,6 +153,21 @@ func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 	if engCfg.Stats == nil {
 		engCfg.Stats = engine.NewStats()
 	}
+	if opts.ChaosSeed != 0 {
+		// Chaos without retries or a breaker would just shrink coverage;
+		// give the hardening machinery its defaults unless the caller
+		// configured its own.
+		if engCfg.Retry.MaxAttempts == 0 {
+			engCfg.Retry = engine.DefaultRetryPolicy()
+		}
+		if engCfg.Breaker == nil {
+			// The limit matches the retry budget so the breaker never cuts
+			// an item's own retry loop short (a fault recovering on the
+			// last attempt must get that attempt); it only suppresses
+			// re-testing targets that already burned a full loop.
+			engCfg.Breaker = engine.NewBreaker(engCfg.Retry.MaxAttempts)
+		}
+	}
 	if engCfg.Sleep == nil {
 		// Retry backoffs wait on the virtual clock, not the wall clock.
 		engCfg.Sleep = func(_ context.Context, d time.Duration) { clock.Advance(d) }
@@ -176,6 +206,15 @@ func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 	}
 	if opts.FilterSubmissions {
 		w.installSubmissionFilters()
+	}
+	if opts.ChaosSeed != 0 {
+		// Installed last so world construction itself (which performs no
+		// dials) is never perturbed — only measurement traffic is.
+		plan, err := netsim.NewFaultProfile(opts.FaultProfile, opts.ChaosSeed)
+		if err != nil {
+			return nil, fmt.Errorf("world: %w", err)
+		}
+		w.Net.SetFaultPlan(plan)
 	}
 	return w, nil
 }

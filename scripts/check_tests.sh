@@ -1,0 +1,16 @@
+#!/bin/sh
+# Fail when a Go package in the module has no _test.go file at all.
+# Examples are demo programs, not production surface, and are exempt.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+missing=$(go list -f '{{if and (not .TestGoFiles) (not .XTestGoFiles)}}{{.ImportPath}}{{end}}' ./... |
+	grep -v '^$' | grep -v '/examples/' || true)
+
+if [ -n "$missing" ]; then
+	echo "packages without any _test.go file:" >&2
+	echo "$missing" | sed 's/^/  /' >&2
+	exit 1
+fi
+echo "every package carries tests"
