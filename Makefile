@@ -76,5 +76,18 @@ serve:
 bench-serve:
 	go test -run xxx -bench BenchmarkServeCachedIdentify ./internal/server/
 
+# The classification-core headline benchmarks (DESIGN.md §12) as JSON.
+# Compare against the committed BENCH_classify.json "after" block; the
+# zero-alloc contract itself is enforced by the TestZeroAlloc* tests.
+.PHONY: bench-classify
+bench-classify:
+	./scripts/bench_json.sh
+
+# Fail when a pinned hot path (ClassifyBytes, SearchBytes,
+# ExtractTitleBytes, the match detectors) allocates in steady state.
+.PHONY: alloc-gate
+alloc-gate:
+	go test -run 'TestZeroAlloc' -count=1 ./internal/match/ ./internal/blockpage/ ./internal/scanner/ ./internal/fingerprint/
+
 .PHONY: ci
 ci: test-gate test race chaos-golden

@@ -1,6 +1,7 @@
 package blockpage
 
 import (
+	"fmt"
 	"testing"
 
 	"filtermap/internal/httpwire"
@@ -41,6 +42,49 @@ func BenchmarkClassifyMissOrdinaryPage(b *testing.B) {
 			b.Fatal("false positive")
 		}
 	}
+}
+
+// BenchmarkClassifyChain is the headline per-probe cost: a realistic
+// redirect chain — two ordinary pages that must be rejected, one
+// unremarkable redirect, and a final vendor block page — pushed through
+// the default corpus. This is the inner loop of scans, discovery and
+// fmserve traffic; BENCH_classify.json tracks it.
+func BenchmarkClassifyChain(b *testing.B) {
+	c := NewClassifier(nil)
+	chain := benchChain()
+	total := 0
+	for _, r := range chain {
+		total += len(r.Body)
+	}
+	b.SetBytes(int64(total))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, ok := c.ClassifyChain(chain)
+		if !ok || m.Product != "McAfee SmartFilter" {
+			b.Fatalf("classified %v, %v", m, ok)
+		}
+	}
+}
+
+// benchChain builds the BenchmarkClassifyChain workload: miss-heavy
+// bodies sized like real pages, ending in a McAfee notification.
+func benchChain() []*httpwire.Response {
+	filler := make([]byte, 0, 4096)
+	for i := 0; len(filler) < 4000; i++ {
+		filler = append(filler, []byte(fmt.Sprintf(
+			"<p>paragraph %d: entirely ordinary page content, weather and recipes, nothing filtered.</p>\n", i))...)
+	}
+	ordinary := func(title string) *httpwire.Response {
+		return httpwire.NewResponse(200, httpwire.NewHeader("Content-Type", "text/html"),
+			[]byte("<html><head><title>"+title+"</title></head><body>\n"+string(filler)+"</body></html>"))
+	}
+	redirect := httpwire.NewResponse(302, httpwire.NewHeader(
+		"Location", "http://www.example.com/landing?ref=campaign"), nil)
+	blocked := httpwire.NewResponse(403, httpwire.NewHeader("Content-Type", "text/html"),
+		[]byte(`<html><head><title>McAfee Web Gateway - Notification</title></head><body>
+<h1>URL Blocked</h1><p>Category: Pornography (23)</p>`+string(filler)+`</body></html>`))
+	return []*httpwire.Response{ordinary("Portal"), redirect, ordinary("News"), blocked}
 }
 
 func BenchmarkDeriveBodyRegexp(b *testing.B) {

@@ -1,0 +1,110 @@
+// Package corpustest loads `go test fuzz v1` corpus files so differential
+// tests can replay the committed fuzz corpora through old and new
+// implementations without going through the fuzzer.
+package corpustest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Entry is one corpus file: the decoded values of its typed lines, in
+// order. Supported value types are int, string, []byte and bool — the
+// ones this repo's fuzz targets take.
+type Entry struct {
+	Name   string
+	Values []any
+}
+
+// Int returns value i as an int (test fails on type mismatch via panic —
+// corpus files are repo-controlled).
+func (e Entry) Int(i int) int { return e.Values[i].(int) }
+
+// String returns value i as a string.
+func (e Entry) String(i int) string { return e.Values[i].(string) }
+
+// Bytes returns value i as a []byte.
+func (e Entry) Bytes(i int) []byte { return e.Values[i].([]byte) }
+
+// Bool returns value i as a bool.
+func (e Entry) Bool(i int) bool { return e.Values[i].(bool) }
+
+// Load reads every corpus file under dir (e.g.
+// "testdata/fuzz/FuzzClassifyResponse"). It returns an error rather than
+// taking a testing.TB so callers can decide whether a missing directory
+// is fatal.
+func Load(dir string) ([]Entry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, f.Name())
+		e, err := parseFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		e.Name = f.Name()
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpustest: no corpus files in %s", dir)
+	}
+	return out, nil
+}
+
+func parseFile(path string) (Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return Entry{}, fmt.Errorf("not a go test fuzz v1 file")
+	}
+	var e Entry
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		v, err := parseValue(line)
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Values = append(e.Values, v)
+	}
+	return e, nil
+}
+
+func parseValue(line string) (any, error) {
+	open := strings.Index(line, "(")
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("malformed corpus line %q", line)
+	}
+	typ := line[:open]
+	lit := line[open+1 : len(line)-1]
+	switch typ {
+	case "int":
+		return strconv.Atoi(lit)
+	case "bool":
+		return strconv.ParseBool(lit)
+	case "string":
+		return strconv.Unquote(lit)
+	case "[]byte":
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(s), nil
+	default:
+		return nil, fmt.Errorf("unsupported corpus type %q", typ)
+	}
+}

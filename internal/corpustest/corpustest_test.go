@@ -1,0 +1,63 @@
+package corpustest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a", "go test fuzz v1\nint(403)\nstring(\"loc\\\"x\")\n[]byte(\"body \\xff bytes\")\nbool(true)\n")
+	entries, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "a" || len(e.Values) != 4 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Int(0) != 403 || e.String(1) != `loc"x` || !bytes.Equal(e.Bytes(2), []byte("body \xff bytes")) || !e.Bool(3) {
+		t.Fatalf("values = %#v", e.Values)
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad"), []byte("not a corpus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected error for non-corpus file")
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+}
+
+// TestLoadRealCorpus keeps the loader honest against a corpus this repo
+// actually ships.
+func TestLoadRealCorpus(t *testing.T) {
+	entries, err := Load("../blockpage/testdata/fuzz/FuzzClassifyResponse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Values) != 3 {
+			t.Fatalf("%s: %d values, want 3 (status, location, body)", e.Name, len(e.Values))
+		}
+		_ = e.Int(0)
+		_ = e.String(1)
+		_ = e.Bytes(2)
+	}
+}

@@ -12,7 +12,6 @@
 package fingerprint
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"errors"
@@ -25,6 +24,7 @@ import (
 	"time"
 
 	"filtermap/internal/httpwire"
+	"filtermap/internal/match"
 	"filtermap/internal/netsim"
 )
 
@@ -47,7 +47,7 @@ type HeaderContains struct {
 // Match implements Matcher.
 func (m HeaderContains) Match(resp *httpwire.Response) bool {
 	for _, v := range resp.Header.Values(m.Name) {
-		if strings.Contains(strings.ToLower(v), strings.ToLower(m.Substr)) {
+		if match.ContainsFold(match.Bytes(v), m.Substr) {
 			return true
 		}
 	}
@@ -85,8 +85,8 @@ type TitleContains struct {
 
 // Match implements Matcher.
 func (m TitleContains) Match(resp *httpwire.Response) bool {
-	title, ok := ExtractTitle(resp.Body)
-	return ok && strings.Contains(strings.ToLower(title), strings.ToLower(m.Substr))
+	title, ok := ExtractTitleBytes(resp.Body)
+	return ok && match.ContainsFold(title, m.Substr)
 }
 
 // Describe implements Matcher.
@@ -101,7 +101,7 @@ type BodyContains struct {
 
 // Match implements Matcher.
 func (m BodyContains) Match(resp *httpwire.Response) bool {
-	return strings.Contains(strings.ToLower(string(resp.Body)), strings.ToLower(m.Substr))
+	return match.ContainsFold(resp.Body, m.Substr)
 }
 
 // Describe implements Matcher.
@@ -123,6 +123,43 @@ func (m BodyRegexp) Match(resp *httpwire.Response) bool {
 func (m BodyRegexp) Describe() string {
 	return fmt.Sprintf("body matches /%s/", m.Pattern)
 }
+
+// BodyDetector matches the body with a compiled match.Detector — the
+// staged replacement for ad-hoc substring/regexp matchers. Desc is the
+// human-readable condition for reports.
+type BodyDetector struct {
+	Desc     string
+	Detector match.Detector
+}
+
+// Match implements Matcher.
+func (m BodyDetector) Match(resp *httpwire.Response) bool {
+	_, ok := m.Detector.Match(resp.Body)
+	return ok
+}
+
+// Describe implements Matcher.
+func (m BodyDetector) Describe() string { return "body " + m.Desc }
+
+// TitleDetector matches the extracted HTML title with a compiled
+// match.Detector.
+type TitleDetector struct {
+	Desc     string
+	Detector match.Detector
+}
+
+// Match implements Matcher.
+func (m TitleDetector) Match(resp *httpwire.Response) bool {
+	title, ok := ExtractTitleBytes(resp.Body)
+	if !ok {
+		return false
+	}
+	_, ok = m.Detector.Match(title)
+	return ok
+}
+
+// Describe implements Matcher.
+func (m TitleDetector) Describe() string { return "HTML title " + m.Desc }
 
 // LocationMatches matches 3xx responses whose Location satisfies the
 // predicate — the shape of the Blue Coat (cfauth.com) and Websense
@@ -157,29 +194,28 @@ func (m StatusIs) Match(resp *httpwire.Response) bool { return resp.StatusCode =
 // Describe implements Matcher.
 func (m StatusIs) Describe() string { return fmt.Sprintf("status is %d", m.Code) }
 
-// ExtractTitle returns the contents of the first <title> element. The
-// case-insensitive tag search lowercases ASCII byte-by-byte: a rune-wise
-// ToLower re-encodes invalid UTF-8 (scanned banners are hostile bytes,
-// not documents) and would shift the offsets used to slice the original.
+// ExtractTitleBytes returns the contents of the first <title> element as
+// a trimmed sub-slice of body (no copy, nothing allocated — a miss is
+// free). The case-insensitive tag search folds ASCII byte-by-byte: a
+// rune-wise ToLower re-encodes invalid UTF-8 (scanned banners are hostile
+// bytes, not documents) and would shift the offsets used to slice the
+// original.
+func ExtractTitleBytes(body []byte) ([]byte, bool) {
+	start, end, ok := match.Between(body, "<title>", "</title>")
+	if !ok {
+		return nil, false
+	}
+	return bytes.TrimSpace(body[start:end]), true
+}
+
+// ExtractTitle returns the contents of the first <title> element as a
+// string. Hot paths should prefer ExtractTitleBytes, which does not copy.
 func ExtractTitle(body []byte) (string, bool) {
-	lower := make([]byte, len(body))
-	for i, c := range body {
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		lower[i] = c
-	}
-	start := bytes.Index(lower, []byte("<title>"))
-	if start < 0 {
+	t, ok := ExtractTitleBytes(body)
+	if !ok {
 		return "", false
 	}
-	rest := lower[start+len("<title>"):]
-	end := bytes.Index(rest, []byte("</title>"))
-	if end < 0 {
-		return "", false
-	}
-	orig := body[start+len("<title>") : start+len("<title>")+end]
-	return strings.TrimSpace(string(orig)), true
+	return string(t), true
 }
 
 // Probe describes one request the engine sends while profiling a host.
@@ -246,13 +282,25 @@ func (r *Registry) Register(sig *Signature) {
 	r.sigs = append(r.sigs, sig)
 }
 
-// Signatures returns the registered signatures.
+// Signatures returns a copy of the registered signatures.
 func (r *Registry) Signatures() []*Signature {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]*Signature, len(r.sigs))
 	copy(out, r.sigs)
 	return out
+}
+
+// walk visits signatures in registration order under the read lock,
+// without copying the slice; visiting stops when f returns false.
+func (r *Registry) walk(f func(*Signature) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.sigs {
+		if !f(s) {
+			return
+		}
+	}
 }
 
 // Match is one validated product observation on a host.
@@ -313,8 +361,14 @@ func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error)
 	var out []Match
 	fetched := 0
 	var lastErr error
+	reg := e.registry()
+	// One pooled read buffer serves the whole sweep; every response is
+	// fully evaluated before the next probe reuses the buffer, and Match
+	// copies the evidence it keeps.
+	buf := httpwire.GetReadBuffer()
+	defer buf.Release()
 	for _, p := range e.probes() {
-		resp, err := e.fetch(ctx, addr, p)
+		resp, err := e.fetch(ctx, addr, p, buf)
 		if err != nil {
 			// A refusal is a definite observation — the host is up with no
 			// service on that port — not lost evidence.
@@ -324,7 +378,7 @@ func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error)
 			continue
 		}
 		fetched++
-		for _, sig := range e.registry().Signatures() {
+		reg.walk(func(sig *Signature) bool {
 			if sig.Matches(resp) {
 				out = append(out, Match{
 					Addr:      addr,
@@ -332,10 +386,11 @@ func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error)
 					Path:      p.Path,
 					Product:   sig.Product,
 					Signature: sig.Name,
-					Evidence:  strings.TrimSpace(strings.SplitN(string(resp.RawHead), "\r\n", 2)[0]),
+					Evidence:  statusLineOf(resp.RawHead),
 				})
 			}
-		}
+			return true
+		})
 	}
 	if fetched == 0 && lastErr != nil {
 		return nil, fmt.Errorf("fingerprint %s: every probe failed: %w", addr, lastErr)
@@ -350,6 +405,16 @@ func (e *Engine) Identify(ctx context.Context, addr netip.Addr) ([]Match, error)
 		return out[i].Path < out[j].Path
 	})
 	return out, nil
+}
+
+// statusLineOf returns the trimmed first line of a raw head without
+// stringifying the whole block.
+func statusLineOf(rawHead []byte) string {
+	line := rawHead
+	if i := bytes.Index(line, []byte("\r\n")); i >= 0 {
+		line = line[:i]
+	}
+	return string(bytes.TrimSpace(line))
 }
 
 // Products returns the distinct product names Identify found on addr.
@@ -370,7 +435,9 @@ func (e *Engine) Products(ctx context.Context, addr netip.Addr) ([]string, error
 	return out, nil
 }
 
-func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe) (*httpwire.Response, error) {
+// fetch performs one probe. The returned response borrows buf and is
+// only valid until the next read through it.
+func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe, buf *httpwire.ReadBuffer) (*httpwire.Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, e.timeout())
 	defer cancel()
 	conn, err := e.Vantage.Dial(ctx, addr, p.Port)
@@ -390,7 +457,7 @@ func (e *Engine) fetch(ctx context.Context, addr netip.Addr, p Probe) (*httpwire
 	if _, err := req.WriteTo(conn); err != nil {
 		return nil, err
 	}
-	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), false)
+	resp, err := httpwire.ReadResponseBuffered(buf, conn, false)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+
+	"filtermap/internal/match"
 )
 
 // defaultRegistry holds the Table 2 signature set.
@@ -113,7 +115,7 @@ func Table2Signatures() []*Signature {
 				LocationMatches{
 					Desc: `points at a "/webadmin/" path`,
 					Fn: func(loc string) bool {
-						return strings.Contains(strings.ToLower(loc), "/webadmin/")
+						return match.ContainsFold(match.Bytes(loc), "/webadmin/")
 					},
 				},
 			},

@@ -317,38 +317,61 @@ func (r *Response) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadResponse parses one response from br. isHEAD suppresses body reading
-// for responses to HEAD requests.
+// for responses to HEAD requests. The returned response owns its memory;
+// hot loops that do not retain responses should prefer
+// ReadResponseBuffered, which reuses pooled buffers.
 func ReadResponse(br *bufio.Reader, isHEAD bool) (*Response, error) {
 	var raw bytes.Buffer
-	line, err := readLineRaw(br, &raw)
+	resp, _, err := readResponseCore(br, isHEAD, &raw, nil)
 	if err != nil {
 		return nil, err
 	}
+	resp.RawHead = bytes.Clone(resp.RawHead)
+	return resp, nil
+}
+
+// readResponseCore parses a response. raw accumulates the head bytes and
+// the returned response's RawHead ALIASES raw's storage (callers that
+// hand out the response must clone it). When arena is non-nil the body is
+// read into it (the response borrows it; the grown arena is returned for
+// reuse); when nil the body is freshly allocated and owned.
+func readResponseCore(br *bufio.Reader, isHEAD bool, raw *bytes.Buffer, arena []byte) (*Response, []byte, error) {
+	line, err := readLineRaw(br, raw)
+	if err != nil {
+		return nil, arena, err
+	}
 	proto, rest, ok := strings.Cut(line, " ")
 	if !ok || !strings.HasPrefix(proto, "HTTP/") {
-		return nil, fmt.Errorf("%w: %q", ErrMalformedStartLine, line)
+		return nil, arena, fmt.Errorf("%w: %q", ErrMalformedStartLine, line)
 	}
 	codeStr, reason, _ := strings.Cut(rest, " ")
 	code, err := strconv.Atoi(codeStr)
 	if err != nil || code < 100 || code > 999 {
-		return nil, fmt.Errorf("%w: bad status %q", ErrMalformedStartLine, rest)
+		return nil, arena, fmt.Errorf("%w: bad status %q", ErrMalformedStartLine, rest)
 	}
-	hdr, err := readHeaderBlockRaw(br, &raw)
+	hdr, err := readHeaderBlockRaw(br, raw)
 	if err != nil {
-		return nil, err
+		return nil, arena, err
 	}
-	resp := &Response{Proto: proto, StatusCode: code, Reason: reason, Header: hdr, RawHead: bytes.Clone(raw.Bytes())}
+	resp := &Response{Proto: proto, StatusCode: code, Reason: reason, Header: hdr, RawHead: raw.Bytes()}
 
 	noBody := isHEAD || code == 204 || code == 304 || (code >= 100 && code < 200)
 	if noBody {
-		return resp, nil
+		return resp, arena, nil
 	}
-	body, err := readBody(br, hdr, false, false)
+	var dst []byte
+	if arena != nil {
+		dst = arena[:0]
+	}
+	body, err := readBodyInto(br, hdr, false, dst)
+	if arena != nil && cap(body) > cap(arena) {
+		arena = body[:0]
+	}
 	if err != nil {
-		return nil, err
+		return nil, arena, err
 	}
 	resp.Body = body
-	return resp, nil
+	return resp, arena, nil
 }
 
 // readLine reads one CRLF- (or LF-) terminated line, bounded.
@@ -420,8 +443,16 @@ func readBody(br *bufio.Reader, hdr *Header, suppress, isRequest bool) ([]byte, 
 	if suppress {
 		return nil, nil
 	}
+	return readBodyInto(br, hdr, isRequest, nil)
+}
+
+// readBodyInto is readBody with the destination supplied by the caller:
+// the body is appended into dst (grown as needed), so pooled arenas can
+// absorb the read. A nil dst allocates fresh storage, preserving the
+// owned-path behavior.
+func readBodyInto(br *bufio.Reader, hdr *Header, isRequest bool, dst []byte) ([]byte, error) {
 	if strings.EqualFold(hdr.Get("Transfer-Encoding"), "chunked") {
-		return readChunked(br)
+		return readChunkedInto(br, dst)
 	}
 	if cl := hdr.Get("Content-Length"); cl != "" {
 		n, err := strconv.ParseInt(strings.TrimSpace(cl), 10, 64)
@@ -431,27 +462,46 @@ func readBody(br *bufio.Reader, hdr *Header, suppress, isRequest bool) ([]byte, 
 		if n > MaxBodyBytes {
 			return nil, ErrBodyTooLarge
 		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(br, body); err != nil {
+		if int64(cap(dst)) >= n {
+			dst = dst[:n]
+		} else {
+			dst = make([]byte, n)
+		}
+		if _, err := io.ReadFull(br, dst); err != nil {
 			return nil, err
 		}
-		return body, nil
+		return dst, nil
 	}
 	if isRequest {
 		return nil, nil
 	}
-	body, err := io.ReadAll(io.LimitReader(br, MaxBodyBytes+1))
-	if err != nil {
-		return nil, err
+	// Read to EOF, bounded. Mirrors io.ReadAll but reuses dst's capacity.
+	if dst == nil {
+		dst = []byte{}
 	}
-	if len(body) > MaxBodyBytes {
-		return nil, ErrBodyTooLarge
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := br.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if len(dst) > MaxBodyBytes {
+			return nil, ErrBodyTooLarge
+		}
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	return body, nil
 }
 
 func readChunked(br *bufio.Reader) ([]byte, error) {
-	var out []byte
+	return readChunkedInto(br, nil)
+}
+
+func readChunkedInto(br *bufio.Reader, out []byte) ([]byte, error) {
 	for {
 		line, err := readLine(br)
 		if err != nil {
@@ -470,6 +520,11 @@ func readChunked(br *bufio.Reader) ([]byte, error) {
 					return nil, err
 				}
 				if tl == "" {
+					// A zero-chunk body is nil whether or not an arena
+					// was supplied; the caller keeps its arena capacity.
+					if len(out) == 0 {
+						return nil, nil
+					}
 					return out, nil
 				}
 			}
@@ -477,13 +532,17 @@ func readChunked(br *bufio.Reader) ([]byte, error) {
 		if int64(len(out))+size > MaxBodyBytes {
 			return nil, ErrBodyTooLarge
 		}
-		chunk := make([]byte, size)
-		if _, err := io.ReadFull(br, chunk); err != nil {
+		start := len(out)
+		need := start + int(size)
+		for cap(out) < need {
+			out = append(out[:cap(out)], 0)
+		}
+		out = out[:need]
+		if _, err := io.ReadFull(br, out[start:]); err != nil {
 			return nil, err
 		}
-		out = append(out, chunk...)
-		crlf := make([]byte, 2)
-		if _, err := io.ReadFull(br, crlf); err != nil {
+		var crlf [2]byte
+		if _, err := io.ReadFull(br, crlf[:]); err != nil {
 			return nil, err
 		}
 		if crlf[0] != '\r' || crlf[1] != '\n' {

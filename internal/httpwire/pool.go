@@ -1,0 +1,62 @@
+package httpwire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"sync"
+)
+
+// ReadBuffer bundles the per-read scratch state — a bufio.Reader, a head
+// accumulator, and a body arena — so hot probe loops (scanner banner
+// grabs, fingerprint sweeps) stop paying a fresh 4 KiB reader plus head
+// clone plus body allocation per connection.
+//
+// Ownership rule (see DESIGN.md §12): a Response produced by
+// ReadResponseBuffered BORROWS the buffer — its RawHead and Body alias
+// the buffer's storage and are valid only until the next
+// ReadResponseBuffered call on the same buffer or Release, whichever
+// comes first. Callers that keep any part of the response must copy it
+// first (Response.Clone, or string conversions of the needed spans).
+// Paths that retain whole responses (measurement chains) must stay on
+// ReadResponse, which returns owned memory.
+type ReadBuffer struct {
+	br   *bufio.Reader
+	head bytes.Buffer
+	body []byte
+}
+
+var readBufPool = sync.Pool{
+	New: func() any {
+		return &ReadBuffer{br: bufio.NewReader(nil)}
+	},
+}
+
+// GetReadBuffer borrows a buffer from the pool.
+func GetReadBuffer() *ReadBuffer {
+	return readBufPool.Get().(*ReadBuffer)
+}
+
+// Release returns the buffer to the pool. The caller must not touch the
+// buffer — or any Response read through it — afterwards.
+func (b *ReadBuffer) Release() {
+	b.br.Reset(nil) // drop the conn reference so the pool doesn't pin it
+	readBufPool.Put(b)
+}
+
+// ReadResponseBuffered parses one response from r using b's pooled
+// scratch state. isHEAD suppresses body reading for responses to HEAD
+// requests. The returned response borrows b (see ReadBuffer); it is
+// invalidated by the next read on b and by Release.
+func ReadResponseBuffered(b *ReadBuffer, r io.Reader, isHEAD bool) (*Response, error) {
+	b.br.Reset(r)
+	b.head.Reset()
+	if b.body == nil {
+		b.body = make([]byte, 0, 4096)
+	}
+	resp, arena, err := readResponseCore(b.br, isHEAD, &b.head, b.body[:0:cap(b.body)])
+	if arena != nil {
+		b.body = arena
+	}
+	return resp, err
+}

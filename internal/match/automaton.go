@@ -1,0 +1,211 @@
+package match
+
+// Aho-Corasick automaton compiled to a dense DFA. Construction builds a
+// trie over the (folded) patterns, wires failure links breadth-first, and
+// then flattens transitions into one []int32 of states×256 next-state
+// entries so the scan loop is a single table lookup per input byte — no
+// failure-link chasing, no per-byte branching beyond the output check.
+//
+// Memory is spent at construction time (256 int32 per state) to keep the
+// steady-state scan allocation-free and branch-predictable; the pattern
+// corpora here (Table 2 queries, block-page markers, title keywords) are
+// tens of short strings, so the tables stay in the tens of kilobytes.
+
+// Automaton is a compiled multi-pattern matcher. One pass over the text
+// reports every occurrence of every pattern. It is immutable after
+// construction and safe for concurrent use.
+type Automaton struct {
+	caseFold bool
+	trans    []int32 // dense next-state table, states*256
+	outIdx   []int32 // per-state offset into outList; len = states+1
+	outList  []int32 // pattern IDs emitted per state, flattened
+	patLen   []int   // length of each (folded) pattern
+	patterns []string
+}
+
+// NewAutomaton compiles patterns into an automaton. Pattern IDs are the
+// indices into the given slice. Empty patterns are rejected by panic
+// (programmer error). Only WithCaseFold among the options is meaningful.
+func NewAutomaton(patterns []string, opts ...Option) *Automaton {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a := &Automaton{caseFold: cfg.caseFold, patterns: append([]string(nil), patterns...)}
+	a.patLen = make([]int, len(patterns))
+
+	// Trie construction over folded patterns.
+	type node struct {
+		next [256]int32 // 0 = absent (state 0 is the root; root loops handled later)
+		out  []int32
+		fail int32
+	}
+	nodes := []*node{new(node)}
+	for id, pat := range patterns {
+		if pat == "" {
+			panic("match: NewAutomaton pattern must be non-empty")
+		}
+		if cfg.caseFold {
+			pat = FoldString(pat)
+		}
+		a.patLen[id] = len(pat)
+		cur := int32(0)
+		for i := 0; i < len(pat); i++ {
+			c := pat[i]
+			nxt := nodes[cur].next[c]
+			if nxt == 0 {
+				nodes = append(nodes, new(node))
+				nxt = int32(len(nodes) - 1)
+				nodes[cur].next[c] = nxt
+			}
+			cur = nxt
+		}
+		nodes[cur].out = append(nodes[cur].out, int32(id))
+	}
+
+	// Failure links, breadth-first; convert the trie to a dense DFA in
+	// the same pass (goto-or-fail collapses into one table).
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < 256; c++ {
+		if nxt := nodes[0].next[c]; nxt != 0 {
+			nodes[nxt].fail = 0
+			queue = append(queue, nxt)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		f := nodes[u].fail
+		nodes[u].out = append(nodes[u].out, nodes[f].out...)
+		for c := 0; c < 256; c++ {
+			v := nodes[u].next[c]
+			if v != 0 {
+				nodes[v].fail = nodes[f].next[c]
+				queue = append(queue, v)
+			} else {
+				nodes[u].next[c] = nodes[f].next[c]
+			}
+		}
+	}
+
+	// Flatten.
+	a.trans = make([]int32, len(nodes)*256)
+	a.outIdx = make([]int32, len(nodes)+1)
+	total := 0
+	for _, n := range nodes {
+		total += len(n.out)
+	}
+	a.outList = make([]int32, 0, total)
+	for s, n := range nodes {
+		copy(a.trans[s*256:], n.next[:])
+		a.outIdx[s] = int32(len(a.outList))
+		a.outList = append(a.outList, n.out...)
+	}
+	a.outIdx[len(nodes)] = int32(len(a.outList))
+	return a
+}
+
+// NumPatterns returns how many patterns the automaton was built from.
+func (a *Automaton) NumPatterns() int { return len(a.patterns) }
+
+// Pattern returns the pattern with the given ID as passed to NewAutomaton.
+func (a *Automaton) Pattern(id int) string { return a.patterns[id] }
+
+// PatternLen returns the byte length of the (folded) pattern with the
+// given ID — End-PatternLen(id) recovers a hit's start offset.
+func (a *Automaton) PatternLen(id int) int { return a.patLen[id] }
+
+// Scan walks text once and calls visit(id, end) for every pattern
+// occurrence, where end is the exclusive end offset (start is
+// end-PatternLen(id)). Scanning stops early if visit returns false.
+// Scan performs no allocations; visit should not either if the caller
+// wants the zero-alloc guarantee (use a func that closes over nothing or
+// over pre-existing state).
+func (a *Automaton) Scan(text []byte, visit func(id, end int) bool) {
+	s := int32(0)
+	trans, outIdx, outList := a.trans, a.outIdx, a.outList
+	if a.caseFold {
+		for i := 0; i < len(text); i++ {
+			s = trans[int(s)*256+int(foldTable[text[i]])]
+			for _, id := range outList[outIdx[s]:outIdx[s+1]] {
+				if !visit(int(id), i+1) {
+					return
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < len(text); i++ {
+		s = trans[int(s)*256+int(text[i])]
+		for _, id := range outList[outIdx[s]:outIdx[s+1]] {
+			if !visit(int(id), i+1) {
+				return
+			}
+		}
+	}
+}
+
+// Contains reports whether any pattern occurs in text, without
+// allocating.
+func (a *Automaton) Contains(text []byte) bool {
+	s := int32(0)
+	trans, outIdx := a.trans, a.outIdx
+	if a.caseFold {
+		for i := 0; i < len(text); i++ {
+			s = trans[int(s)*256+int(foldTable[text[i]])]
+			if outIdx[s] != outIdx[s+1] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(text); i++ {
+		s = trans[int(s)*256+int(text[i])]
+		if outIdx[s] != outIdx[s+1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is a multi-pattern Detector backed by an Automaton: Match reports
+// the occurrence that ends earliest (ties broken by lowest pattern ID),
+// with Hit.ID identifying the pattern.
+type Set struct {
+	auto *Automaton
+	cfg  config
+}
+
+// NewSet compiles a multi-pattern detector over the given patterns.
+func NewSet(patterns []string, opts ...Option) *Set {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Set{auto: NewAutomaton(patterns, opts...), cfg: cfg}
+}
+
+// Automaton exposes the underlying automaton for callers that want the
+// full Scan stream rather than first-hit semantics.
+func (s *Set) Automaton() *Automaton { return s.auto }
+
+// Match implements Detector.
+func (s *Set) Match(text []byte) (Hit, bool) {
+	text = s.cfg.clip(text)
+	var hit Hit
+	found := false
+	s.auto.Scan(text, func(id, end int) bool {
+		start := end - s.auto.PatternLen(id)
+		if s.cfg.anchor && start != 0 {
+			return true
+		}
+		if found && end > hit.End {
+			return false // past the earliest end; nothing can beat hit
+		}
+		if !found || id < hit.ID {
+			hit = Hit{ID: id, Start: start, End: end}
+			found = true
+		}
+		return true
+	})
+	return hit, found
+}

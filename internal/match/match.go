@@ -1,0 +1,432 @@
+// Package match is the zero-allocation classification core shared by the
+// scanner index, the block-page classifier and the fingerprint engine.
+//
+// Every probe in scans, discovery and fmserve traffic funnels through the
+// same inner loop — "does this banner/body/Location carry one of a small
+// set of vendor markers?" — and the per-response cost of answering it is
+// the system's scaling constant. This package answers it with staged,
+// cheapest-first byte matching:
+//
+//  1. length/anchor/status gates that reject most inputs in O(1),
+//  2. a case-folded Aho-Corasick automaton (see Automaton) that finds
+//     every literal marker of a whole corpus in ONE pass over the input,
+//  3. only then, for the rare patterns that genuinely need one, a regexp
+//     behind a literal gate.
+//
+// All matching is ASCII-case-insensitive by default (WithCaseFold):
+// vendor block-page markers, banner keywords and HTML tags are ASCII, and
+// scanned bytes are hostile input, not UTF-8 documents — Unicode-aware
+// folding would re-encode invalid bytes and shift offsets. Steady-state
+// matching performs zero heap allocations: detectors precompile at
+// construction, scan state lives on the stack, and every returned
+// position (Hit) or extracted span aliases the input.
+//
+// Ownership rule: detectors never retain or mutate the text they are
+// handed, so callers may pass borrowed (pooled) slices — see
+// httpwire.ReadBuffer. Conversely, anything a detector or extractor
+// returns that aliases the input is only valid for the buffer's lifetime;
+// retain it by copying.
+package match
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"unsafe"
+)
+
+// Hit locates the decisive occurrence a Detector matched.
+type Hit struct {
+	// ID is the pattern index within a multi-pattern detector (always 0
+	// for single-pattern detectors).
+	ID int
+	// Start and End bound the matched span in the scanned text. For an
+	// ordered detector the span runs from the start of the first literal
+	// to the end of the last; for a gated regexp it is the regexp match.
+	Start, End int
+}
+
+// Detector is the unified matching contract: one compiled pattern (or
+// pattern set) asked whether it occurs in a byte slice. Implementations
+// are safe for concurrent use and never retain text.
+type Detector interface {
+	Match(text []byte) (Hit, bool)
+}
+
+// config carries the construction options shared by all detectors.
+type config struct {
+	caseFold bool
+	anchor   bool
+	maxScan  int
+	lineGap  bool
+	gate     string
+}
+
+func defaultConfig() config { return config{caseFold: true} }
+
+// clip applies WithMaxScan.
+func (c *config) clip(text []byte) []byte {
+	if c.maxScan > 0 && len(text) > c.maxScan {
+		return text[:c.maxScan]
+	}
+	return text
+}
+
+// Option configures detector construction, mirroring the functional
+// options style of internal/engine.
+type Option func(*config)
+
+// WithCaseFold selects ASCII-case-insensitive matching (the default).
+// Pass false for exact-byte matching.
+func WithCaseFold(on bool) Option { return func(c *config) { c.caseFold = on } }
+
+// WithAnchor requires the match to begin at offset 0 of the text.
+func WithAnchor(on bool) Option { return func(c *config) { c.anchor = on } }
+
+// WithMaxScan bounds how many leading bytes of the text are examined
+// (0, the default, scans everything).
+func WithMaxScan(n int) Option { return func(c *config) { c.maxScan = n } }
+
+// WithLineGap constrains an ordered detector's gaps to stay within one
+// line — the semantics of a `.*` join without the (?s) flag. Literals
+// must not themselves contain a newline.
+func WithLineGap(on bool) Option { return func(c *config) { c.lineGap = on } }
+
+// WithGate attaches a cheap literal prefilter to a Regexp detector: the
+// regexp only runs when the gate literal occurs in the text (folded per
+// WithCaseFold). The gate must be a literal every regexp match contains.
+func WithGate(lit string) Option { return func(c *config) { c.gate = lit } }
+
+// foldTable maps ASCII uppercase to lowercase and leaves every other
+// byte unchanged.
+var foldTable = func() (t [256]byte) {
+	for i := range t {
+		t[i] = byte(i)
+	}
+	for c := byte('A'); c <= 'Z'; c++ {
+		t[c] = c + ('a' - 'A')
+	}
+	return
+}()
+
+// Fold returns the ASCII-lowercased form of c.
+func Fold(c byte) byte { return foldTable[c] }
+
+// FoldString returns the ASCII-lowercased copy of s.
+func FoldString(s string) string {
+	return strings.Map(func(r rune) rune {
+		if 'A' <= r && r <= 'Z' {
+			return r + ('a' - 'A')
+		}
+		return r
+	}, s)
+}
+
+// Bytes returns a read-only []byte view of s without copying. The result
+// aliases the string's storage and MUST NOT be modified or written
+// through; it exists so string-typed callers can feed detectors without
+// paying a per-call copy.
+func Bytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// HasFoldPrefix reports whether text begins with pat under ASCII
+// folding. It allocates nothing.
+func HasFoldPrefix(text []byte, pat string) bool {
+	if len(text) < len(pat) {
+		return false
+	}
+	return hasFoldPrefix(text, pat)
+}
+
+// hasFoldPrefix is HasFoldPrefix without the length guard;
+// len(text) >= len(pat) must hold.
+func hasFoldPrefix(text []byte, pat string) bool {
+	for i := 0; i < len(pat); i++ {
+		if foldTable[text[i]] != foldTable[pat[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexByteFold returns the lowest index in text of a byte folding to c
+// (c must already be folded), or -1.
+func indexByteFold(text []byte, c byte) int {
+	i := bytes.IndexByte(text, c)
+	if 'a' <= c && c <= 'z' {
+		if j := bytes.IndexByte(text, c-('a'-'A')); j >= 0 && (i < 0 || j < i) {
+			i = j
+		}
+	}
+	return i
+}
+
+// IndexFold returns the index of the first ASCII-case-insensitive
+// occurrence of pat in text, or -1. It allocates nothing.
+func IndexFold(text []byte, pat string) int {
+	m := len(pat)
+	if m == 0 {
+		return 0
+	}
+	if m > len(text) {
+		return -1
+	}
+	c := foldTable[pat[0]]
+	limit := len(text) - m
+	i := 0
+	for i <= limit {
+		off := indexByteFold(text[i:limit+1], c)
+		if off < 0 {
+			return -1
+		}
+		i += off
+		if hasFoldPrefix(text[i:], pat) {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// ContainsFold reports whether pat occurs in text under ASCII folding.
+func ContainsFold(text []byte, pat string) bool { return IndexFold(text, pat) >= 0 }
+
+// Literal is a single-substring Detector.
+type Literal struct {
+	cfg  config
+	orig string
+	pat  string // folded when cfg.caseFold
+	raw  []byte // exact-byte form for the case-sensitive path
+}
+
+// NewLiteral compiles a substring detector. The empty pattern matches
+// everything (at offset 0), mirroring bytes.Index.
+func NewLiteral(pattern string, opts ...Option) *Literal {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	l := &Literal{cfg: cfg, orig: pattern, pat: pattern}
+	if cfg.caseFold {
+		l.pat = FoldString(pattern)
+	}
+	l.raw = []byte(l.pat)
+	return l
+}
+
+// Pattern returns the literal as given to NewLiteral.
+func (l *Literal) Pattern() string { return l.orig }
+
+// CaseFold reports whether the detector folds case.
+func (l *Literal) CaseFold() bool { return l.cfg.caseFold }
+
+// Anchored reports whether the match must begin at offset 0.
+func (l *Literal) Anchored() bool { return l.cfg.anchor }
+
+// MaxScan returns the WithMaxScan bound (0 = unbounded).
+func (l *Literal) MaxScan() int { return l.cfg.maxScan }
+
+// String implements fmt.Stringer.
+func (l *Literal) String() string { return "literal(" + l.orig + ")" }
+
+// Match implements Detector.
+func (l *Literal) Match(text []byte) (Hit, bool) {
+	text = l.cfg.clip(text)
+	if l.cfg.anchor {
+		if len(text) < len(l.pat) {
+			return Hit{}, false
+		}
+		if l.cfg.caseFold {
+			if !hasFoldPrefix(text, l.pat) {
+				return Hit{}, false
+			}
+		} else if !bytes.HasPrefix(text, l.raw) {
+			return Hit{}, false
+		}
+		return Hit{Start: 0, End: len(l.pat)}, true
+	}
+	var i int
+	if l.cfg.caseFold {
+		i = IndexFold(text, l.pat)
+	} else {
+		i = bytes.Index(text, l.raw)
+	}
+	if i < 0 {
+		return Hit{}, false
+	}
+	return Hit{Start: i, End: i + len(l.pat)}, true
+}
+
+// Ordered is a Detector for a sequence of literals separated by arbitrary
+// gaps — the shape of `L1.*L2.*L3` patterns. With WithLineGap the gaps
+// (and therefore the whole match) must stay within a single line.
+type Ordered struct {
+	cfg  config
+	orig []string
+	lits []string // folded when cfg.caseFold
+}
+
+// NewOrdered compiles an ordered-literal detector. It panics if literals
+// is empty, if any literal is empty, or if WithLineGap is combined with a
+// literal containing a newline (programmer error, like NewHeader).
+func NewOrdered(literals []string, opts ...Option) *Ordered {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(literals) == 0 {
+		panic("match: NewOrdered requires at least one literal")
+	}
+	o := &Ordered{cfg: cfg, orig: append([]string(nil), literals...)}
+	o.lits = make([]string, len(literals))
+	for i, lit := range literals {
+		if lit == "" {
+			panic("match: NewOrdered literal must be non-empty")
+		}
+		if cfg.lineGap && strings.ContainsRune(lit, '\n') {
+			panic("match: WithLineGap literal must not contain a newline")
+		}
+		if cfg.caseFold {
+			lit = FoldString(lit)
+		}
+		o.lits[i] = lit
+	}
+	return o
+}
+
+// Literals returns the literal sequence as given to NewOrdered.
+func (o *Ordered) Literals() []string { return o.orig }
+
+// CaseFold reports whether the detector folds case.
+func (o *Ordered) CaseFold() bool { return o.cfg.caseFold }
+
+// LineGap reports whether gaps are constrained to a single line.
+func (o *Ordered) LineGap() bool { return o.cfg.lineGap }
+
+// Anchored reports whether the match must begin at offset 0.
+func (o *Ordered) Anchored() bool { return o.cfg.anchor }
+
+// MaxScan returns the WithMaxScan bound (0 = unbounded).
+func (o *Ordered) MaxScan() int { return o.cfg.maxScan }
+
+// Match implements Detector.
+func (o *Ordered) Match(text []byte) (Hit, bool) {
+	text = o.cfg.clip(text)
+	if !o.cfg.lineGap {
+		return o.matchAnyGap(text, 0)
+	}
+	// Line-gap: every literal is newline-free, so a match lives entirely
+	// within one line. Scan line by line.
+	base := 0
+	for {
+		rest := text[base:]
+		nl := bytes.IndexByte(rest, '\n')
+		line := rest
+		if nl >= 0 {
+			line = rest[:nl]
+		}
+		if hit, ok := o.matchAnyGap(line, base); ok {
+			return hit, true
+		}
+		if nl < 0 {
+			return Hit{}, false
+		}
+		base += nl + 1
+	}
+}
+
+// matchAnyGap runs the greedy earliest-occurrence scan; taking the first
+// occurrence of each literal in turn is optimal for subsequence matching.
+// base offsets the returned Hit for line-gap callers.
+func (o *Ordered) matchAnyGap(text []byte, base int) (Hit, bool) {
+	pos := 0
+	start := -1
+	for idx, lit := range o.lits {
+		var i int
+		if o.cfg.caseFold {
+			i = IndexFold(text[pos:], lit)
+		} else {
+			i = bytes.Index(text[pos:], Bytes(lit))
+		}
+		if i < 0 {
+			return Hit{}, false
+		}
+		abs := pos + i
+		if idx == 0 {
+			if o.cfg.anchor && abs != 0 {
+				return Hit{}, false
+			}
+			start = abs
+		}
+		pos = abs + len(lit)
+	}
+	return Hit{Start: base + start, End: base + pos}, true
+}
+
+// Regexp wraps a compiled regexp as a Detector — the escape hatch for the
+// few patterns that genuinely need one. WithGate makes it cheap on the
+// common (non-match) path: the regexp only runs after a literal prefilter
+// hit.
+type Regexp struct {
+	cfg  config
+	re   *regexp.Regexp
+	gate string // folded per cfg.caseFold
+}
+
+// NewRegexp compiles a regexp-backed detector.
+func NewRegexp(re *regexp.Regexp, opts ...Option) *Regexp {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Regexp{cfg: cfg, re: re, gate: cfg.gate}
+	if cfg.caseFold {
+		r.gate = FoldString(cfg.gate)
+	}
+	return r
+}
+
+// Pattern returns the wrapped regexp.
+func (r *Regexp) Pattern() *regexp.Regexp { return r.re }
+
+// Match implements Detector.
+func (r *Regexp) Match(text []byte) (Hit, bool) {
+	text = r.cfg.clip(text)
+	if r.gate != "" {
+		var hit bool
+		if r.cfg.caseFold {
+			hit = ContainsFold(text, r.gate)
+		} else {
+			hit = bytes.Contains(text, Bytes(r.gate))
+		}
+		if !hit {
+			return Hit{}, false
+		}
+	}
+	loc := r.re.FindIndex(text)
+	if loc == nil {
+		return Hit{}, false
+	}
+	return Hit{Start: loc[0], End: loc[1]}, true
+}
+
+// Between locates the span between the first occurrence of open and the
+// next occurrence of close after it, ASCII-case-insensitively — the shape
+// of <title>…</title> and <p>Category: …</p> extraction. The returned
+// bounds exclude the delimiters and alias text. It allocates nothing.
+func Between(text []byte, open, close string) (start, end int, ok bool) {
+	i := IndexFold(text, open)
+	if i < 0 {
+		return 0, 0, false
+	}
+	start = i + len(open)
+	j := IndexFold(text[start:], close)
+	if j < 0 {
+		return 0, 0, false
+	}
+	return start, start + j, true
+}

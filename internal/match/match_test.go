@@ -1,0 +1,335 @@
+package match
+
+import (
+	"bytes"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestIndexFold(t *testing.T) {
+	cases := []struct {
+		text, pat string
+		want      int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"", "a", -1},
+		{"abc", "b", 1},
+		{"ABC", "b", 1},
+		{"abc", "B", 1},
+		{"xxABCxx", "abc", 2},
+		{"xxabcxx", "ABC", 2},
+		{"aAaAb", "ab", 3},
+		{"netsweeper", "NetSweeper", 0},
+		{"short", "longerthan", -1},
+		{"ab", "abc", -1},
+		{"aXbXaYb", "ayb", 4},
+		// Fold is ASCII-only: Unicode case pairs must NOT match.
+		{"K", "k", -1},     // Kelvin sign
+		{"straße", "S", 0}, // but plain ASCII inside still does
+	}
+	for _, c := range cases {
+		if got := IndexFold([]byte(c.text), c.pat); got != c.want {
+			t.Errorf("IndexFold(%q, %q) = %d, want %d", c.text, c.pat, got, c.want)
+		}
+		wantContains := c.want >= 0
+		if got := ContainsFold([]byte(c.text), c.pat); got != wantContains {
+			t.Errorf("ContainsFold(%q, %q) = %v", c.text, c.pat, got)
+		}
+	}
+}
+
+// TestIndexFoldVsReference cross-checks IndexFold against the obvious
+// lower-both-sides implementation on random ASCII-ish inputs.
+func TestIndexFoldVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	alphabet := "aAbBcC<>/ \n\x00\xff"
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(40)
+		text := make([]byte, n)
+		for j := range text {
+			text[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		m := rng.Intn(5)
+		pat := make([]byte, m)
+		for j := range pat {
+			pat[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		// Reference folds byte-wise: strings.ToLower would re-encode
+		// invalid UTF-8 (0xff -> U+FFFD) and shift byte offsets.
+		asciiLower := func(b []byte) string {
+			out := make([]byte, len(b))
+			for i, c := range b {
+				out[i] = foldTable[c]
+			}
+			return string(out)
+		}
+		want := strings.Index(asciiLower(text), asciiLower(pat))
+		if got := IndexFold(text, string(pat)); got != want {
+			t.Fatalf("IndexFold(%q, %q) = %d, want %d", text, pat, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if Bytes("") != nil {
+		t.Error("Bytes(\"\") should be nil")
+	}
+	b := Bytes("hello")
+	if string(b) != "hello" || len(b) != 5 {
+		t.Errorf("Bytes = %q", b)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		s := "a moderately long string constant"
+		if len(Bytes(s)) != len(s) {
+			t.Fatal("len mismatch")
+		}
+	}); n != 0 {
+		t.Errorf("Bytes allocates %v/op", n)
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	l := NewLiteral("Blue Coat")
+	hit, ok := l.Match([]byte("welcome to the BLUE COAT appliance"))
+	if !ok || hit.Start != 15 || hit.End != 24 {
+		t.Errorf("hit = %+v, ok = %v", hit, ok)
+	}
+	if _, ok := l.Match([]byte("nothing here")); ok {
+		t.Error("false positive")
+	}
+
+	exact := NewLiteral("Blue Coat", WithCaseFold(false))
+	if _, ok := exact.Match([]byte("blue coat")); ok {
+		t.Error("case-sensitive literal matched folded text")
+	}
+	if _, ok := exact.Match([]byte("xx Blue Coat xx")); !ok {
+		t.Error("case-sensitive literal missed exact text")
+	}
+
+	anchored := NewLiteral("http://", WithAnchor(true))
+	if _, ok := anchored.Match([]byte("HTTP://example.com")); !ok {
+		t.Error("anchored fold miss")
+	}
+	if _, ok := anchored.Match([]byte(" http://example.com")); ok {
+		t.Error("anchored matched at offset 1")
+	}
+
+	clipped := NewLiteral("needle", WithMaxScan(10))
+	if _, ok := clipped.Match([]byte("0123456789needle")); ok {
+		t.Error("maxscan did not clip")
+	}
+	if _, ok := clipped.Match([]byte("0needle")); !ok {
+		t.Error("maxscan clipped too much")
+	}
+}
+
+func TestOrdered(t *testing.T) {
+	o := NewOrdered([]string{"McAfee", "Notification"})
+	text := []byte("<title>MCAFEE Web Gateway - notification</title>")
+	hit, ok := o.Match(text)
+	if !ok {
+		t.Fatal("missed")
+	}
+	if got := string(text[hit.Start:hit.End]); !strings.EqualFold(got[:6], "mcafee") || !strings.HasSuffix(strings.ToLower(got), "notification") {
+		t.Errorf("span = %q", got)
+	}
+	if _, ok := o.Match([]byte("Notification from McAfee")); ok {
+		t.Error("order not enforced")
+	}
+	if _, ok := o.Match([]byte("McAfee only")); ok {
+		t.Error("partial sequence matched")
+	}
+	// Greedy earliest-occurrence must still find later viable starts.
+	if _, ok := o.Match([]byte("McAfee ... McAfee Notification")); !ok {
+		t.Error("greedy scan missed a match the first literal occurrence allows")
+	}
+}
+
+func TestOrderedLineGap(t *testing.T) {
+	o := NewOrdered([]string{"Location:", "/webadmin/deny/"}, WithLineGap(true))
+	same := []byte("Server: x\r\nLocation: http://h:8080/WEBADMIN/deny/index.php\r\n")
+	if _, ok := o.Match(same); !ok {
+		t.Error("same-line match missed")
+	}
+	split := []byte("Location: http://h/\nX: /webadmin/deny/\n")
+	if _, ok := o.Match(split); ok {
+		t.Error("line-gap matched across a newline")
+	}
+	// A later line can satisfy the whole sequence.
+	later := []byte("Location: http://h/\nLocation: http://h/webadmin/deny/a\n")
+	if _, ok := o.Match(later); !ok {
+		t.Error("per-line rescan missed a later matching line")
+	}
+	// Equivalence with the regexp it replaces: (?i)A.*B without (?s).
+	re := regexp.MustCompile(`(?i)Location:.*?/webadmin/deny/`)
+	for _, text := range []string{string(same), string(split), string(later), "", "Location:", "location: /webadmin/deny/"} {
+		_, got := o.Match([]byte(text))
+		if want := re.MatchString(text); got != want {
+			t.Errorf("line-gap(%q) = %v, regexp = %v", text, got, want)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for newline inside WithLineGap literal")
+		}
+	}()
+	NewOrdered([]string{"a\nb"}, WithLineGap(true))
+}
+
+func TestRegexpDetector(t *testing.T) {
+	re := regexp.MustCompile(`(?i)<title>\s*mcafee`)
+	r := NewRegexp(re, WithGate("mcafee"))
+	if _, ok := r.Match([]byte("nothing relevant at all")); ok {
+		t.Error("gated regexp matched without gate literal")
+	}
+	hit, ok := r.Match([]byte("xx<TITLE> McAfee Web Gateway"))
+	if !ok || hit.Start != 2 {
+		t.Errorf("hit = %+v, ok = %v", hit, ok)
+	}
+	// Gate present but regexp misses.
+	if _, ok := r.Match([]byte("mcafee but no title tag")); ok {
+		t.Error("gate alone should not match")
+	}
+}
+
+func TestAutomatonVsNaive(t *testing.T) {
+	patterns := []string{"abc", "bc", "c", "cab", "notification", "bca"}
+	a := NewAutomaton(patterns)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		text := make([]byte, n)
+		for j := range text {
+			text[j] = "aAbBcCnotifcation "[rng.Intn(18)]
+		}
+		type occ struct{ id, end int }
+		var got []occ
+		a.Scan(text, func(id, end int) bool {
+			got = append(got, occ{id, end})
+			return true
+		})
+		var want []occ
+		lower := strings.ToLower(string(text))
+		for end := 1; end <= len(lower); end++ {
+			for id, p := range patterns {
+				if end >= len(p) && lower[end-len(p):end] == p {
+					want = append(want, occ{id, end})
+				}
+			}
+		}
+		// Scan emits per position in increasing end order but output-list
+		// order within a position is construction-defined; sort both by
+		// (end, id) for comparison.
+		sortOccs := func(s []occ) {
+			for i := 1; i < len(s); i++ {
+				for j := i; j > 0 && (s[j].end < s[j-1].end || (s[j].end == s[j-1].end && s[j].id < s[j-1].id)); j-- {
+					s[j], s[j-1] = s[j-1], s[j]
+				}
+			}
+		}
+		sortOccs(got)
+		sortOccs(want)
+		if len(got) != len(want) {
+			t.Fatalf("text %q: got %v, want %v", text, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("text %q: got %v, want %v", text, got, want)
+			}
+		}
+		if a.Contains(text) != (len(want) > 0) {
+			t.Fatalf("Contains(%q) = %v, want %v", text, a.Contains(text), len(want) > 0)
+		}
+	}
+}
+
+func TestAutomatonCaseSensitive(t *testing.T) {
+	a := NewAutomaton([]string{"Via"}, WithCaseFold(false))
+	if a.Contains([]byte("via header")) {
+		t.Error("case-sensitive automaton folded")
+	}
+	if !a.Contains([]byte("Via header")) {
+		t.Error("case-sensitive automaton missed exact case")
+	}
+}
+
+func TestAutomatonEarlyStop(t *testing.T) {
+	a := NewAutomaton([]string{"a"})
+	calls := 0
+	a.Scan([]byte("aaaaa"), func(id, end int) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Errorf("visit called %d times, want 2", calls)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet([]string{"netsweeper", "websense", "blocked"})
+	hit, ok := s.Match([]byte("request BLOCKED by WebSense appliance"))
+	if !ok || hit.ID != 2 {
+		t.Errorf("hit = %+v, ok = %v", hit, ok)
+	}
+	if got := hit.End - hit.Start; got != len("blocked") {
+		t.Errorf("span length = %d", got)
+	}
+	if _, ok := s.Match([]byte("plain page")); ok {
+		t.Error("false positive")
+	}
+	// Earliest end wins even when a longer pattern also occurs later.
+	hit, ok = s.Match([]byte("xx websense then netsweeper"))
+	if !ok || hit.ID != 1 {
+		t.Errorf("hit = %+v", hit)
+	}
+	// Anchored set.
+	as := NewSet([]string{"http://", "https://"}, WithAnchor(true))
+	if hit, ok := as.Match([]byte("HTTPS://x")); !ok || hit.ID != 1 {
+		t.Errorf("anchored hit = %+v, ok = %v", hit, ok)
+	}
+	if _, ok := as.Match([]byte(" https://x")); ok {
+		t.Error("anchored set matched at offset 1")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	body := []byte("<html><HEAD><Title> Access Denied </TITLE></head>")
+	start, end, ok := Between(body, "<title>", "</title>")
+	if !ok || string(body[start:end]) != " Access Denied " {
+		t.Errorf("Between = %q, %v", body[start:end], ok)
+	}
+	if _, _, ok := Between([]byte("<title>unterminated"), "<title>", "</title>"); ok {
+		t.Error("unterminated should miss")
+	}
+	if _, _, ok := Between([]byte("no tags"), "<title>", "</title>"); ok {
+		t.Error("absent should miss")
+	}
+}
+
+func TestZeroAllocMatch(t *testing.T) {
+	lit := NewLiteral("powered by netsweeper")
+	ord := NewOrdered([]string{"mcafee", "notification"})
+	set := NewSet([]string{"netsweeper", "websense", "mcafee"})
+	auto := set.Automaton()
+	hitText := []byte("<title>McAfee Web Gateway - Notification</title> powered by netsweeper")
+	missText := bytes.Repeat([]byte("<p>nothing of note in this body</p>"), 20)
+	check := func(name string, f func()) {
+		t.Helper()
+		if n := testing.AllocsPerRun(200, f); n != 0 {
+			t.Errorf("%s allocates %v/op", name, n)
+		}
+	}
+	check("Literal hit", func() { lit.Match(hitText) })
+	check("Literal miss", func() { lit.Match(missText) })
+	check("Ordered hit", func() { ord.Match(hitText) })
+	check("Ordered miss", func() { ord.Match(missText) })
+	check("Set hit", func() { set.Match(hitText) })
+	check("Set miss", func() { set.Match(missText) })
+	check("Automaton.Contains", func() { auto.Contains(missText) })
+	check("IndexFold", func() { IndexFold(missText, "netsweeper") })
+	check("Between", func() { Between(hitText, "<title>", "</title>") })
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"filtermap/internal/blockpage"
@@ -175,11 +176,22 @@ func NewClient(field, lab *Vantage, opts ...engine.Option) *Client {
 	return &Client{Field: field, Lab: lab, Config: engine.NewConfig(opts...)}
 }
 
+// defaultClassifier is the shared default-corpus classifier: compiling
+// the corpus (regexes, automaton) per comparison was a measurable cost,
+// and the classifier is immutable and safe for concurrent use.
+var (
+	defaultClassifierOnce sync.Once
+	defaultClassifier     *blockpage.Classifier
+)
+
 func (c *Client) classifier() *blockpage.Classifier {
 	if c.Classifier != nil {
 		return c.Classifier
 	}
-	return blockpage.NewClassifier(nil)
+	defaultClassifierOnce.Do(func() {
+		defaultClassifier = blockpage.NewClassifier(nil)
+	})
+	return defaultClassifier
 }
 
 func (c *Client) timeout() time.Duration {

@@ -50,6 +50,37 @@ func BenchmarkSearchWithFilters(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexSearch is the headline banner-search cost: the Table 2
+// style keyword fan-out (bare keyword, quoted phrase with a country
+// filter, port-qualified path) over a 10k-banner index.
+// BENCH_classify.json tracks it.
+func BenchmarkIndexSearch(b *testing.B) {
+	idx := benchIndex(b, 10000)
+	queries := make([]Query, 0, 3)
+	for _, s := range []string{
+		"netsweeper",
+		`"netsweeper webadmin" country:US`,
+		"8080/webadmin port:8080",
+	} {
+		q, err := ParseQuery(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for _, q := range queries {
+			hits += len(idx.Search(q))
+		}
+		if hits == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
 func BenchmarkParseQuery(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -15,10 +15,11 @@
 package scanner
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -195,7 +196,11 @@ func (s *Scanner) probe(ctx context.Context, addr netip.Addr, port uint16) (Bann
 	if _, err := req.WriteTo(conn); err != nil {
 		return Banner{}, false
 	}
-	resp, err := httpwire.ReadResponse(bufio.NewReader(conn), false)
+	// The banner copies what it keeps (head string, excerpt string), so
+	// the pooled read buffer can be released before returning.
+	buf := httpwire.GetReadBuffer()
+	defer buf.Release()
+	resp, err := httpwire.ReadResponseBuffered(buf, conn, false)
 	if err != nil {
 		return Banner{}, false
 	}
@@ -245,9 +250,14 @@ func isAlpha(s string) bool {
 }
 
 // Index is a searchable collection of banners: the Shodan stand-in.
+//
+// The searchable text of each banner (Banner.Text) is computed once at
+// Add time and cached as bytes, so queries scan cached slices instead of
+// lowercasing every banner on every search.
 type Index struct {
 	mu      sync.RWMutex
 	banners []Banner
+	texts   [][]byte // texts[i] == []byte(banners[i].Text()), cached at Add
 }
 
 // NewIndex returns an empty index.
@@ -257,9 +267,11 @@ func NewIndex() *Index {
 
 // Add inserts a banner.
 func (x *Index) Add(b Banner) {
+	text := []byte(b.Text())
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.banners = append(x.banners, b)
+	x.texts = append(x.texts, text)
 }
 
 // Len returns the number of indexed banners.
@@ -342,39 +354,104 @@ func tokenize(q string) []string {
 	return out
 }
 
+// CompiledQuery is a Query lowered for the byte-first search path:
+// keywords are split once into plain substrings and port-qualified
+// ("8080/webadmin/") forms, as byte slices ready to scan cached banner
+// text. Compile once, search many times.
+type CompiledQuery struct {
+	query Query
+	plain [][]byte // must all occur in the banner text
+	ports []portKeyword
+}
+
+type portKeyword struct {
+	port uint16
+	path []byte
+}
+
+// Compile lowers the query for Index.SearchBytes.
+func (q Query) Compile() *CompiledQuery {
+	cq := &CompiledQuery{query: q}
+	for _, kw := range q.Keywords {
+		// Port-qualified keywords like "8080/webadmin/" match the
+		// combination of listening port and path evidence.
+		if i := strings.IndexByte(kw, '/'); i > 0 {
+			if port, err := parsePort(kw[:i]); err == nil {
+				cq.ports = append(cq.ports, portKeyword{port: port, path: []byte(strings.ToLower(kw[i:]))})
+				continue
+			}
+		}
+		cq.plain = append(cq.plain, []byte(kw))
+	}
+	return cq
+}
+
+// Query returns the query the compiled form was built from.
+func (cq *CompiledQuery) Query() Query { return cq.query }
+
+// matchText reports whether a banner satisfies every keyword.
+func (cq *CompiledQuery) matchText(port uint16, text []byte) bool {
+	for _, kw := range cq.plain {
+		if !bytes.Contains(text, kw) {
+			return false
+		}
+	}
+	for _, pk := range cq.ports {
+		if port != pk.port || !bytes.Contains(text, pk.path) {
+			return false
+		}
+	}
+	return true
+}
+
 // Search runs a parsed query.
 func (x *Index) Search(q Query) []Banner {
+	return x.SearchBytes(q.Compile(), nil)
+}
+
+// SearchBytes runs a compiled query over the cached banner text, appends
+// matches to dst and returns it, with the appended region sorted by
+// (addr, port). With a pre-compiled query and a reused dst of sufficient
+// capacity it performs zero heap allocations. Typical use:
+//
+//	cq := q.Compile()
+//	for ... {
+//		hits = idx.SearchBytes(cq, hits[:0])
+//	}
+func (x *Index) SearchBytes(cq *CompiledQuery, dst []Banner) []Banner {
+	q := &cq.query
+	start := len(dst)
 	x.mu.RLock()
-	defer x.mu.RUnlock()
-	var out []Banner
-	for _, b := range x.banners {
+	for i := range x.banners {
+		b := &x.banners[i]
 		if q.Port != 0 && b.Port != q.Port {
 			continue
 		}
 		if q.Country != "" && b.Country != q.Country {
 			continue
 		}
-		text := b.Text()
-		// Port-qualified keywords like "8080/webadmin/" match the
-		// combination of listening port and path evidence.
-		ok := true
-		for _, kw := range q.Keywords {
-			if !matchKeyword(b, text, kw) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, b)
+		if cq.matchText(b.Port, x.texts[i]) {
+			dst = append(dst, *b)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Addr != out[j].Addr {
-			return out[i].Addr.Less(out[j].Addr)
+	x.mu.RUnlock()
+	slices.SortFunc(dst[start:], func(a, b Banner) int {
+		if a.Addr != b.Addr {
+			if a.Addr.Less(b.Addr) {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Port < out[j].Port
+		switch {
+		case a.Port < b.Port:
+			return -1
+		case a.Port > b.Port:
+			return 1
+		default:
+			return 0
+		}
 	})
-	return out
+	return dst
 }
 
 // SearchString parses and runs q.
@@ -386,8 +463,11 @@ func (x *Index) SearchString(q string) ([]Banner, error) {
 	return x.Search(parsed), nil
 }
 
-// matchKeyword matches one keyword against a banner. Keywords of the form
-// "8080/path" additionally require the banner's port.
+// matchKeyword matches one keyword against a banner the way the
+// pre-CompiledQuery implementation did; the differential tests use it as
+// the reference semantics.
+//
+// Deprecated: superseded by Query.Compile + Index.SearchBytes.
 func matchKeyword(b Banner, text, kw string) bool {
 	if i := strings.IndexByte(kw, '/'); i > 0 {
 		if port, err := parsePort(kw[:i]); err == nil {

@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench_json.sh — run the classification-core headline benchmarks and emit
+# their ns/op, B/op and allocs/op as JSON on stdout.
+#
+# Usage:
+#   scripts/bench_json.sh [benchtime]      # default 20x
+#   scripts/bench_json.sh 100x > BENCH_classify.json
+#
+# The three headline benchmarks cover the hot paths rewired onto
+# internal/match (see DESIGN.md §12): the redirect-chain classifier, the
+# banner-index search, and the fingerprint identify sweep. ExtractTitle
+# rides along as the smallest isolated extractor.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-20x}"
+
+run() { # run <package> <benchmark regex>
+	go test -run xxx -bench "$2" -benchtime "$BENCHTIME" -benchmem "$1" 2>&1 |
+		awk '/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = "null"; bytes = "null"; allocs = "null"
+			# Columns vary (b.SetBytes adds MB/s), so key on unit labels.
+			for (i = 3; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i - 1)
+				else if ($i == "B/op") bytes = $(i - 1)
+				else if ($i == "allocs/op") allocs = $(i - 1)
+			}
+			printf "  { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s },\n",
+				name, ns, bytes, allocs
+		}'
+}
+
+out=$(
+	run ./internal/blockpage/ '^BenchmarkClassifyChain$'
+	run ./internal/scanner/ '^BenchmarkIndexSearch$'
+	run ./internal/fingerprint/ '^BenchmarkFingerprintIdentify$'
+	run ./internal/fingerprint/ '^BenchmarkExtractTitle$'
+)
+if [ -z "$out" ]; then
+	echo "bench_json.sh: no benchmark output captured" >&2
+	exit 1
+fi
+
+printf '{\n"benchmarks": [\n%s\n]\n}\n' "$(printf '%s' "$out" | sed '$ s/,$//')"
