@@ -40,6 +40,15 @@ discover-golden:
 chaos-golden:
 	go test -race -run 'TestChaos' -count=1 .
 
+# The mechanism-survey determinism check: the seeded multi-mechanism
+# world (DNS poisoning, RST injection, SNI filtering) must attribute a
+# product and mechanism to every censoring ISP, byte-identically at any
+# worker count. Regenerate the golden after an intentional change with
+# `go run ./cmd/fmrepro -only mechanisms > testdata/mechanisms.golden`.
+.PHONY: mech-golden
+mech-golden:
+	go test -run 'TestGoldenMechanisms' -count=1 .
+
 # Short deterministic fuzzing of every wire-facing parser: each target
 # runs its seed corpus plus a few seconds of mutation. A real fuzzing
 # session replaces -fuzztime with minutes or hours.
@@ -51,6 +60,8 @@ fuzz-smoke:
 	go test -run xxx -fuzz FuzzClassifyResponse -fuzztime $(FUZZTIME) ./internal/blockpage/
 	go test -run xxx -fuzz FuzzDeriveBodyRegexp -fuzztime $(FUZZTIME) ./internal/blockpage/
 	go test -run xxx -fuzz FuzzExtractTitle -fuzztime $(FUZZTIME) ./internal/fingerprint/
+	go test -run xxx -fuzz FuzzParseDNSMessage -fuzztime $(FUZZTIME) ./internal/mechanism/
+	go test -run xxx -fuzz FuzzParseClientHello -fuzztime $(FUZZTIME) ./internal/mechanism/
 
 # Fail the build when any package (examples excluded) ships without a
 # _test.go file.
@@ -82,6 +93,13 @@ bench-serve:
 .PHONY: bench-classify
 bench-classify:
 	./scripts/bench_json.sh
+
+# The mechanism-probe benchmarks (DESIGN.md §13) as JSON: DNS/TLS codec
+# costs, quirk signature matching, and the netsim-backed RST/DNS probe
+# round trips. Compare against the committed BENCH_mechanisms.json.
+.PHONY: bench-mechanisms
+bench-mechanisms:
+	./scripts/bench_json.sh 20x mechanisms
 
 # Fail when a pinned hot path (ClassifyBytes, SearchBytes,
 # ExtractTitleBytes, the match detectors) allocates in steady state.

@@ -2,6 +2,7 @@ package filtermap_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -109,6 +110,59 @@ func TestChaosRunIsDegraded(t *testing.T) {
 	doc := filtermap.Reporter{}.Table3JSON(outcomes)
 	if !doc.Degraded {
 		t.Fatal("Table3JSON dropped the degraded marker")
+	}
+}
+
+// TestChaosMechanisms pins the mechanism x fault-injection interplay: a
+// mechanism survey over the mixed DNS/RST/SNI roster with the chaos
+// plan installed must complete with explicitly degraded probes rather
+// than dying, stay byte-identical at any worker count, and still
+// attribute the deployments the faults spare.
+func TestChaosMechanisms(t *testing.T) {
+	run := func(workers int) string {
+		w, err := filtermap.NewWorld(
+			filtermap.Options{ChaosSeed: chaosSeed, Mechanisms: &filtermap.MechanismOptions{}},
+			filtermap.WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		targets, err := w.RunMechanismSurvey(context.Background())
+		if err != nil {
+			t.Fatalf("mechanism survey under chaos must degrade, not die: %v", err)
+		}
+		return filtermap.Reporter{}.Mechanisms(targets)
+	}
+	got1 := run(1)
+	got8 := run(8)
+	if got1 != got8 {
+		l1, l8 := splitLines(got1), splitLines(got8)
+		for i := 0; i < len(l1) || i < len(l8); i++ {
+			var a, b string
+			if i < len(l1) {
+				a = l1[i]
+			}
+			if i < len(l8) {
+				b = l8[i]
+			}
+			if a != b {
+				t.Errorf("workers=1 vs workers=8 line %d:\n  w1: %q\n  w8: %q", i+1, a, b)
+			}
+		}
+		t.Fatal("chaos mechanism survey is not deterministic across worker counts")
+	}
+	if !strings.Contains(got1, "DEGRADED:") {
+		t.Fatalf("chaos seed %d produced no degraded survey lines; the interplay pins nothing:\n%s", chaosSeed, got1)
+	}
+	if !strings.Contains(got1, "censored.") {
+		t.Fatalf("survey footer missing:\n%s", got1)
+	}
+	// The faults must not erase attribution wholesale: at least one ISP
+	// still gets a product and mechanism.
+	if !strings.Contains(got1, "Netsweeper") && !strings.Contains(got1, "Blue Coat") &&
+		!strings.Contains(got1, "McAfee SmartFilter") && !strings.Contains(got1, "Websense") {
+		t.Fatalf("no product attributed under chaos:\n%s", got1)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fmhist -dir DIR record [-kind identify|table4|discovery] [-note TEXT]
+//	fmhist -dir DIR record [-kind identify|table4|discovery|mechanisms] [-note TEXT]
 //	                       (-in report.json | -run) [-advance 168h]
 //	                       [-seed N] [-workers N] [-hide-consoles] [-scrub-headers]
 //	                       [-rounds N] [-budget N]
@@ -107,7 +107,7 @@ subcommands:
 // record persists one snapshot, from a file or a fresh pipeline run.
 func record(s *store.Store, args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	kind := fs.String("kind", longitudinal.KindIdentify, "snapshot kind: identify, table4, or discovery")
+	kind := fs.String("kind", longitudinal.KindIdentify, "snapshot kind: identify, table4, discovery, or mechanisms")
 	note := fs.String("note", "", "free-form annotation")
 	in := fs.String("in", "", "ingest a JSON document (fmscan/fmrepro -json output)")
 	run := fs.Bool("run", false, "build the world and run the pipeline")
@@ -120,9 +120,9 @@ func record(s *store.Store, args []string) error {
 	budget := fs.Int("budget", 0, "discovery probe budget (with -run -kind discovery; 0 = default)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	switch *kind {
-	case longitudinal.KindIdentify, longitudinal.KindTable4, longitudinal.KindDiscovery:
+	case longitudinal.KindIdentify, longitudinal.KindTable4, longitudinal.KindDiscovery, longitudinal.KindMechanisms:
 	default:
-		return fmt.Errorf("unsupported kind %q (identify, table4, or discovery)", *kind)
+		return fmt.Errorf("unsupported kind %q (identify, table4, discovery, or mechanisms)", *kind)
 	}
 	if (*in == "") == !*run {
 		return fmt.Errorf("record needs exactly one of -in or -run")
@@ -144,6 +144,9 @@ func record(s *store.Store, args []string) error {
 			Seed:         *seed,
 			HideConsoles: *hideConsoles,
 			ScrubHeaders: *scrubHeaders,
+		}
+		if *kind == longitudinal.KindMechanisms {
+			opts.Mechanisms = &filtermap.MechanismOptions{}
 		}
 		var engOpts []filtermap.Option
 		if *workers > 0 {
@@ -180,6 +183,12 @@ func record(s *store.Store, args []string) error {
 				return err
 			}
 			doc = filtermap.Reporter{}.DiscoveryJSON(*rounds, *budget, targets)
+		case longitudinal.KindMechanisms:
+			targets, err := w.RunMechanismSurvey(ctx)
+			if err != nil {
+				return err
+			}
+			doc = filtermap.Reporter{}.MechanismsJSON(targets)
 		}
 		if body, err = json.Marshal(doc); err != nil {
 			return err

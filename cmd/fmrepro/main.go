@@ -93,7 +93,7 @@ func jsonStats(w *filtermap.World) *filtermap.StatsSnapshot {
 }
 
 func main() {
-	only := flag.String("only", "", "regenerate a comma-separated subset: table1..table5, figure1, denypagetests")
+	only := flag.String("only", "", "regenerate a comma-separated subset: table1..table5, figure1, denypagetests, mechanisms")
 	checkVersion := version.Flag(flag.CommandLine, "fmrepro")
 	flag.Parse()
 	checkVersion()
@@ -109,6 +109,7 @@ func main() {
 		{"table4", table4},
 		{"denypagetests", denyPageTests},
 		{"table5", table5},
+		{"mechanisms", mechanisms},
 	}
 	// -only names are unordered; steps always run in paper order.
 	wanted := make(map[string]bool)
@@ -250,6 +251,46 @@ func denyPageTests(ctx context.Context) error {
 			fmt.Printf("  catno %-3d BLOCKED (%s)\n", n, res.BlockMatch.Category)
 		}
 	}
+	return nil
+}
+
+// mechanisms surveys the multi-mechanism deployments: a world built with
+// Options.Mechanisms gains nine ISPs censoring via DNS poisoning, TCP
+// RST injection, and SNI filtering; the survey probes each and prints
+// the extended Table 2 (mechanism-signature column), the per-ISP
+// findings, and the Table 4 mechanism matrix. HTTP-only artifacts never
+// build mechanism worlds, so their output stays byte-identical.
+func mechanisms(ctx context.Context) error {
+	w, err := newWorld(filtermap.Options{Mechanisms: &filtermap.MechanismOptions{}})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	defer dumpStats("mechanisms", w)
+	targets, err := w.RunMechanismSurvey(ctx)
+	if err != nil {
+		return err
+	}
+	var r filtermap.Reporter
+	if *jsonOut {
+		doc := r.MechanismsJSON(targets)
+		doc.Stats = jsonStats(w)
+		return emitJSON(doc)
+	}
+	sigDescs := make(map[string][]string)
+	for _, sig := range fingerprint.Table2Signatures() {
+		var parts []string
+		for _, m := range sig.Matchers {
+			parts = append(parts, m.Describe())
+		}
+		sigDescs[sig.Product] = append(sigDescs[sig.Product], strings.Join(parts, " AND "))
+	}
+	fmt.Print(report.Table2WithMechanisms(fingerprint.ShodanKeywords(), sigDescs,
+		fingerprint.MechanismSignatureDescriptions()))
+	fmt.Println()
+	fmt.Print(r.Mechanisms(targets))
+	fmt.Println()
+	fmt.Print(r.Table4Mechanisms(targets))
 	return nil
 }
 

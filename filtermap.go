@@ -91,6 +91,18 @@ func DiscoveredList(targets []TargetDiscovery) URLList {
 	return world.DiscoveredList(targets)
 }
 
+// Mechanism layer: censorship beyond HTTP block pages (DNS poisoning,
+// TCP RST injection, SNI filtering) — see World.RunMechanismSurvey.
+type (
+	// MechanismOptions enables the multi-mechanism deployments on a world
+	// (Options.Mechanisms; nil keeps the HTTP-only world byte-identical).
+	MechanismOptions = world.MechanismOptions
+	// MechanismSurveyTarget is one surveyed ISP with its probe results.
+	MechanismSurveyTarget = world.MechanismSurveyTarget
+	// MechanismsDoc is the machine-readable mechanism survey.
+	MechanismsDoc = report.MechanismsDoc
+)
+
 // Execution-substrate types re-exported from the shared engine, so callers
 // can tune concurrency and observe progress without reaching into
 // internal packages.
@@ -308,6 +320,35 @@ func discoveryTargets(targets []TargetDiscovery) []report.DiscoveryTarget {
 	for _, t := range targets {
 		rts = append(rts, report.DiscoveryTarget{
 			Country: t.Country, ISP: t.ISP, ASN: t.ASN, Report: t.Report,
+		})
+	}
+	return rts
+}
+
+// Mechanisms renders the mechanism survey as text: per-ISP mechanism
+// and product attributions with their wire-quirk evidence.
+func (Reporter) Mechanisms(targets []MechanismSurveyTarget) string {
+	return report.MechanismSurvey(mechanismTargets(targets))
+}
+
+// Table4Mechanisms renders the mechanism analog of Table 4: product,
+// mechanism, and censored research categories per surveyed ISP.
+func (Reporter) Table4Mechanisms(targets []MechanismSurveyTarget) string {
+	return report.Table4Mechanisms(mechanismTargets(targets))
+}
+
+// MechanismsJSON builds the machine-readable mechanism survey document
+// (fmserve's POST /v1/mechanisms encoding).
+func (Reporter) MechanismsJSON(targets []MechanismSurveyTarget) MechanismsDoc {
+	return report.MechanismsJSON(mechanismTargets(targets))
+}
+
+// mechanismTargets adapts world survey targets to the report layer.
+func mechanismTargets(targets []MechanismSurveyTarget) []report.MechanismTarget {
+	rts := make([]report.MechanismTarget, 0, len(targets))
+	for _, t := range targets {
+		rts = append(rts, report.MechanismTarget{
+			Country: t.Country, ISP: t.ISP, ASN: t.ASN, Results: t.Results,
 		})
 	}
 	return rts

@@ -38,17 +38,19 @@ import (
 
 // Snapshot kinds this package understands.
 const (
-	KindIdentify  = "identify"
-	KindTable4    = "table4"
-	KindDiscovery = "discovery"
+	KindIdentify   = "identify"
+	KindTable4     = "table4"
+	KindDiscovery  = "discovery"
+	KindMechanisms = "mechanisms"
 )
 
 // Engine stage names (visible in engine Stats / fmserve metrics).
 const (
-	StageDiffInstalls  = "diff-installs"
-	StageDiffMatrix    = "diff-matrix"
-	StageDiffDiscovery = "diff-discovery"
-	StageTimeline      = "timeline"
+	StageDiffInstalls   = "diff-installs"
+	StageDiffMatrix     = "diff-matrix"
+	StageDiffDiscovery  = "diff-discovery"
+	StageDiffMechanisms = "diff-mechanisms"
+	StageTimeline       = "timeline"
 )
 
 // Input is one snapshot to analyze: its store metadata plus the raw body.
@@ -84,13 +86,15 @@ func New(opts ...engine.Option) *Engine {
 // ---- diff documents ----
 
 // Diff is the churn between two snapshots of the same kind. Exactly one
-// of Installs, Matrix and Discovery is set, matching the snapshot kind.
+// of Installs, Matrix, Discovery and Mechanisms is set, matching the
+// snapshot kind.
 type Diff struct {
-	From      SnapRef        `json:"from"`
-	To        SnapRef        `json:"to"`
-	Installs  *InstallDiff   `json:"installs,omitempty"`
-	Matrix    *MatrixDiff    `json:"matrix,omitempty"`
-	Discovery *DiscoveryDiff `json:"discovery,omitempty"`
+	From       SnapRef         `json:"from"`
+	To         SnapRef         `json:"to"`
+	Installs   *InstallDiff    `json:"installs,omitempty"`
+	Matrix     *MatrixDiff     `json:"matrix,omitempty"`
+	Discovery  *DiscoveryDiff  `json:"discovery,omitempty"`
+	Mechanisms *MechanismsDiff `json:"mechanisms,omitempty"`
 }
 
 // InstallDiff is identification churn: the §3 installation set compared
@@ -213,6 +217,12 @@ func (e *Engine) Diff(ctx context.Context, from, to Input) (*Diff, error) {
 			return nil, err
 		}
 		d.Discovery = dd
+	case KindMechanisms:
+		md, err := e.diffMechanisms(ctx, from.Body, to.Body)
+		if err != nil {
+			return nil, err
+		}
+		d.Mechanisms = md
 	default:
 		return nil, fmt.Errorf("longitudinal: unsupported snapshot kind %q", from.Meta.Kind)
 	}

@@ -1,0 +1,219 @@
+package longitudinal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"filtermap/internal/engine"
+	"filtermap/internal/report"
+)
+
+// This file diffs "mechanisms" snapshots (bodies are report.MechanismsDoc):
+// how each ISP's censorship mechanism deployment drifts between two survey
+// runs. The interesting churn class is the migration — an ISP that kept
+// censoring but switched mechanism (DNS poisoning -> SNI filtering) or
+// product, the longitudinal signal the paper's one-shot survey cannot see.
+
+// MechanismsDiff is mechanism-survey drift between two snapshots.
+type MechanismsDiff struct {
+	FromISPs int `json:"from_isps"`
+	ToISPs   int `json:"to_isps"`
+	// AddedISPs/RemovedISPs are surveyed ISPs present on only one side,
+	// sorted by ISP name.
+	AddedISPs   []report.MechanismISPDoc `json:"added_isps,omitempty"`
+	RemovedISPs []report.MechanismISPDoc `json:"removed_isps,omitempty"`
+	// Migrations lists surviving ISPs whose mechanism or product set
+	// moved (ISPs present on both sides with identical findings are
+	// omitted).
+	Migrations []MechanismMigration `json:"migrations,omitempty"`
+}
+
+// MechanismMigration is one ISP's mechanism-deployment drift: the
+// censorship stayed, but how it is enforced (or whose box enforces it)
+// changed.
+type MechanismMigration struct {
+	ISP     string `json:"isp"`
+	Country string `json:"country"`
+	ASN     int    `json:"asn"`
+	// MechanismsAdded/Removed are mechanism kinds seen on only one side.
+	MechanismsAdded   []string `json:"mechanisms_added,omitempty"`
+	MechanismsRemoved []string `json:"mechanisms_removed,omitempty"`
+	// ProductsAdded/Removed are attributed products seen on only one side.
+	ProductsAdded   []string `json:"products_added,omitempty"`
+	ProductsRemoved []string `json:"products_removed,omitempty"`
+	// CensoredFrom/To track the blocked-URL count across the two runs.
+	CensoredFrom int `json:"censored_from"`
+	CensoredTo   int `json:"censored_to"`
+}
+
+func decodeMechanisms(body json.RawMessage) (*report.MechanismsDoc, error) {
+	var doc report.MechanismsDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("longitudinal: decode mechanisms snapshot: %w", err)
+	}
+	return &doc, nil
+}
+
+// ispMechanisms and ispProducts project one ISP's finding set onto the
+// axes the migration tracks.
+func ispMechanisms(d report.MechanismISPDoc) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range d.Findings {
+		if !seen[f.Mechanism] {
+			seen[f.Mechanism] = true
+			out = append(out, f.Mechanism)
+		}
+	}
+	return out
+}
+
+func ispProducts(d report.MechanismISPDoc) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range d.Findings {
+		if !seen[f.Product] {
+			seen[f.Product] = true
+			out = append(out, f.Product)
+		}
+	}
+	return out
+}
+
+func (e *Engine) diffMechanisms(ctx context.Context, fromBody, toBody json.RawMessage) (*MechanismsDiff, error) {
+	fromDoc, err := decodeMechanisms(fromBody)
+	if err != nil {
+		return nil, err
+	}
+	toDoc, err := decodeMechanisms(toBody)
+	if err != nil {
+		return nil, err
+	}
+	ispKey := func(d report.MechanismISPDoc) string {
+		return fmt.Sprintf("%s\x00%s\x00%d", d.ISP, d.Country, d.ASN)
+	}
+	fromISPs := make(map[string]report.MechanismISPDoc, len(fromDoc.Mechanisms))
+	for _, d := range fromDoc.Mechanisms {
+		fromISPs[ispKey(d)] = d
+	}
+	toISPs := make(map[string]report.MechanismISPDoc, len(toDoc.Mechanisms))
+	for _, d := range toDoc.Mechanisms {
+		toISPs[ispKey(d)] = d
+	}
+	keys := unionKeys(countMechKeys(fromISPs), countMechKeys(toISPs))
+
+	type verdict struct {
+		added     *report.MechanismISPDoc
+		removed   *report.MechanismISPDoc
+		migration *MechanismMigration
+	}
+	verdicts, err := engine.Map(ctx, e.Config, StageDiffMechanisms, keys, func(_ context.Context, k string) (verdict, error) {
+		f, inFrom := fromISPs[k]
+		t, inTo := toISPs[k]
+		switch {
+		case !inFrom:
+			return verdict{added: &t}, nil
+		case !inTo:
+			return verdict{removed: &f}, nil
+		default:
+			m := &MechanismMigration{
+				ISP: f.ISP, Country: f.Country, ASN: f.ASN,
+				MechanismsAdded:   setMinus(ispMechanisms(t), ispMechanisms(f)),
+				MechanismsRemoved: setMinus(ispMechanisms(f), ispMechanisms(t)),
+				ProductsAdded:     setMinus(ispProducts(t), ispProducts(f)),
+				ProductsRemoved:   setMinus(ispProducts(f), ispProducts(t)),
+				CensoredFrom:      f.Censored,
+				CensoredTo:        t.Censored,
+			}
+			if len(m.MechanismsAdded) == 0 && len(m.MechanismsRemoved) == 0 &&
+				len(m.ProductsAdded) == 0 && len(m.ProductsRemoved) == 0 &&
+				m.CensoredFrom == m.CensoredTo {
+				return verdict{}, nil
+			}
+			return verdict{migration: m}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &MechanismsDiff{FromISPs: len(fromDoc.Mechanisms), ToISPs: len(toDoc.Mechanisms)}
+	for _, v := range verdicts {
+		switch {
+		case v.added != nil:
+			d.AddedISPs = append(d.AddedISPs, *v.added)
+		case v.removed != nil:
+			d.RemovedISPs = append(d.RemovedISPs, *v.removed)
+		case v.migration != nil:
+			d.Migrations = append(d.Migrations, *v.migration)
+		}
+	}
+	sortMechISPs(d.AddedISPs)
+	sortMechISPs(d.RemovedISPs)
+	sort.Slice(d.Migrations, func(i, j int) bool { return d.Migrations[i].ISP < d.Migrations[j].ISP })
+	return d, nil
+}
+
+// countMechKeys adapts an ISP map's key set to unionKeys' map[string]int.
+func countMechKeys(m map[string]report.MechanismISPDoc) map[string]int {
+	out := make(map[string]int, len(m))
+	for k := range m {
+		out[k] = 1
+	}
+	return out
+}
+
+func sortMechISPs(docs []report.MechanismISPDoc) {
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ISP < docs[j].ISP })
+}
+
+func (d *MechanismsDiff) render(b *strings.Builder) {
+	fmt.Fprintf(b, "Mechanism survey: %d -> %d ISPs (%d added, %d removed, %d migrated)\n",
+		d.FromISPs, d.ToISPs, len(d.AddedISPs), len(d.RemovedISPs), len(d.Migrations))
+	ispCell := func(doc report.MechanismISPDoc) []string {
+		return []string{
+			doc.ISP, doc.Country, fmt.Sprintf("AS%d", doc.ASN),
+			orDash(strings.Join(ispMechanisms(doc), ",")),
+			orDash(strings.Join(ispProducts(doc), ",")),
+		}
+	}
+	if len(d.AddedISPs) > 0 {
+		t := &report.Table{Title: "\nNewly surveyed ISPs:", Headers: []string{"ISP", "CC", "AS", "Mechanisms", "Products"}}
+		for _, doc := range d.AddedISPs {
+			t.AddRow(ispCell(doc)...)
+		}
+		b.WriteString(t.String())
+	}
+	if len(d.RemovedISPs) > 0 {
+		t := &report.Table{Title: "\nNo longer surveyed ISPs:", Headers: []string{"ISP", "CC", "AS", "Mechanisms", "Products"}}
+		for _, doc := range d.RemovedISPs {
+			t.AddRow(ispCell(doc)...)
+		}
+		b.WriteString(t.String())
+	}
+	if len(d.Migrations) > 0 {
+		t := &report.Table{Title: "\nMechanism migrations:", Headers: []string{"ISP", "CC", "AS", "Mechanisms +/-", "Products +/-", "Censored"}}
+		for _, m := range d.Migrations {
+			t.AddRow(m.ISP, m.Country, fmt.Sprintf("AS%d", m.ASN),
+				plusMinus(m.MechanismsAdded, m.MechanismsRemoved),
+				plusMinus(m.ProductsAdded, m.ProductsRemoved),
+				fmt.Sprintf("%d -> %d", m.CensoredFrom, m.CensoredTo))
+		}
+		b.WriteString(t.String())
+	}
+}
+
+// plusMinus renders added/removed sets as "+a,b -c" ("-" when both empty).
+func plusMinus(added, removed []string) string {
+	var parts []string
+	if len(added) > 0 {
+		parts = append(parts, "+"+strings.Join(added, ","))
+	}
+	if len(removed) > 0 {
+		parts = append(parts, "-"+strings.Join(removed, ","))
+	}
+	return orDash(strings.Join(parts, " "))
+}

@@ -1,0 +1,93 @@
+package longitudinal
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"filtermap/internal/report"
+	"filtermap/internal/simclock"
+	"filtermap/internal/store"
+)
+
+func mechanismsInput(t testing.TB, seq uint64, isps []report.MechanismISPDoc) Input {
+	t.Helper()
+	body := mustJSON(t, report.MechanismsDoc{Mechanisms: isps})
+	return Input{
+		Meta: store.Meta{Seq: seq, ID: store.ContentID(KindMechanisms, "cfg", body), Kind: KindMechanisms, At: simclock.Epoch},
+		Body: body,
+	}
+}
+
+func TestDiffMechanisms(t *testing.T) {
+	from := mechanismsInput(t, 1, []report.MechanismISPDoc{
+		{ISP: "Rostelecom", Country: "RU", ASN: 12389, Tested: 3, Censored: 3, Findings: []report.MechanismFindingDoc{
+			{Mechanism: "dns", Product: "McAfee SmartFilter", Evidence: "nxdomain injection"},
+		}},
+		{ISP: "TOT", Country: "TH", ASN: 23969, Tested: 3, Censored: 3, Findings: []report.MechanismFindingDoc{
+			{Mechanism: "rst", Product: "Blue Coat", Evidence: "rst ttl=128 win=16384 bidirectional"},
+		}},
+	})
+	to := mechanismsInput(t, 2, []report.MechanismISPDoc{
+		// Rostelecom migrates: DNS poisoning replaced by SNI filtering and
+		// the attributed product changes. TOT drops out; VNPT appears.
+		{ISP: "Rostelecom", Country: "RU", ASN: 12389, Tested: 3, Censored: 2, Findings: []report.MechanismFindingDoc{
+			{Mechanism: "sni", Product: "Netsweeper", Evidence: "sni reset ttl=64 win=4096; esni-style omission evades"},
+		}},
+		{ISP: "VNPT", Country: "VN", ASN: 45899, Tested: 3, Censored: 3, Findings: []report.MechanismFindingDoc{
+			{Mechanism: "sni", Product: "Blue Coat", Evidence: "sni silent drop; blocks without sni"},
+		}},
+	})
+	d, err := New().Diff(context.Background(), from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Installs != nil || d.Matrix != nil || d.Discovery != nil || d.Mechanisms == nil {
+		t.Fatalf("mechanisms diff populated wrong section: %+v", d)
+	}
+	md := d.Mechanisms
+	if md.FromISPs != 2 || md.ToISPs != 2 {
+		t.Fatalf("ISP counts = %d -> %d, want 2 -> 2", md.FromISPs, md.ToISPs)
+	}
+	if len(md.AddedISPs) != 1 || md.AddedISPs[0].ISP != "VNPT" {
+		t.Fatalf("AddedISPs = %+v", md.AddedISPs)
+	}
+	if len(md.RemovedISPs) != 1 || md.RemovedISPs[0].ISP != "TOT" {
+		t.Fatalf("RemovedISPs = %+v", md.RemovedISPs)
+	}
+	if len(md.Migrations) != 1 {
+		t.Fatalf("Migrations = %+v", md.Migrations)
+	}
+	m := md.Migrations[0]
+	if m.ISP != "Rostelecom" ||
+		!reflect.DeepEqual(m.MechanismsAdded, []string{"sni"}) ||
+		!reflect.DeepEqual(m.MechanismsRemoved, []string{"dns"}) ||
+		!reflect.DeepEqual(m.ProductsAdded, []string{"Netsweeper"}) ||
+		!reflect.DeepEqual(m.ProductsRemoved, []string{"McAfee SmartFilter"}) ||
+		m.CensoredFrom != 3 || m.CensoredTo != 2 {
+		t.Fatalf("migration = %+v", m)
+	}
+	text := d.Render()
+	for _, want := range []string{"Mechanism migrations", "Rostelecom", "+sni -dns", "Newly surveyed", "VNPT", "No longer surveyed", "TOT", "3 -> 2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Render() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDiffMechanismsIdenticalIsEmpty(t *testing.T) {
+	isps := []report.MechanismISPDoc{
+		{ISP: "TOT", Country: "TH", ASN: 23969, Tested: 3, Censored: 3, Findings: []report.MechanismFindingDoc{
+			{Mechanism: "rst", Product: "Blue Coat", Evidence: "rst ttl=128 win=16384 bidirectional"},
+		}},
+	}
+	d, err := New().Diff(context.Background(), mechanismsInput(t, 1, isps), mechanismsInput(t, 2, isps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := d.Mechanisms
+	if md == nil || len(md.AddedISPs) != 0 || len(md.RemovedISPs) != 0 || len(md.Migrations) != 0 {
+		t.Fatalf("identical snapshots should produce an empty diff: %+v", md)
+	}
+}

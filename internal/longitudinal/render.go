@@ -35,6 +35,10 @@ func (d *Diff) Render() string {
 		b.WriteByte('\n')
 		d.Discovery.render(&b)
 	}
+	if d.Mechanisms != nil {
+		b.WriteByte('\n')
+		d.Mechanisms.render(&b)
+	}
 	return b.String()
 }
 

@@ -15,6 +15,7 @@ package measurement
 import (
 	"context"
 	"fmt"
+	"net/netip"
 	"strings"
 	"sync"
 	"time"
@@ -76,6 +77,10 @@ type Vantage struct {
 	Name string
 	// Host is the machine the fetches originate from.
 	Host *netsim.Host
+	// Resolver is the recursive DNS resolver this vantage queries for the
+	// mechanism probes (port 53, TCP). The zero value skips DNS probing —
+	// HTTP-only measurement never touches it.
+	Resolver netip.Addr
 }
 
 // Client returns an HTTP client dialing from the vantage.

@@ -1,0 +1,489 @@
+package measurement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"net/url"
+	"sort"
+	"strings"
+
+	"filtermap/internal/engine"
+	"filtermap/internal/mechanism"
+	"filtermap/internal/netsim"
+)
+
+// This file grows the measurement client a Mechanism dimension: beyond
+// the HTTP block-page comparison, per-URL probes that discriminate DNS
+// poisoning (field resolver vs lab resolver), TCP RST injection
+// (reset-vs-timeout-vs-refused on a raw HTTP exchange, plus a sidedness
+// check), and SNI-based TLS filtering (a ClientHello probe with an
+// ESNI-style omission follow-up). Each probe records the packet-level
+// quirks that attribute the mechanism to a product.
+
+// StageMechMeasure names the TestListMechanisms stage in engine.Stats.
+const StageMechMeasure = "mech-measure"
+
+// MechanismProbe is one mechanism-specific probe outcome for one URL.
+type MechanismProbe struct {
+	Kind mechanism.Kind
+	// Detected reports the mechanism fired on this URL.
+	Detected bool
+	// Product is the signature attribution ("" when the observed quirks
+	// match no known product).
+	Product string
+	// Evidence is the human-readable quirk summary.
+	Evidence string
+	// Degraded carries the transport-failure detail when the probe could
+	// not complete ("" otherwise).
+	Degraded string
+
+	// Raw quirks, valid when Detected.
+	Sinkhole         netip.Addr
+	TTL              uint32 // forged-record TTL (dns) or injected-RST TTL (rst/sni)
+	Window           uint16
+	Bidirectional    bool
+	Drop             bool
+	NXDomain         bool
+	BlocksWithoutSNI bool
+}
+
+// MechanismResult is a Result extended with the mechanism dimension.
+type MechanismResult struct {
+	Result
+	// Probes holds the per-mechanism probe outcomes in kind order.
+	Probes []MechanismProbe
+	// Mechanism is the concluded blocking mechanism: http for the
+	// middlebox block-page path, dns/rst/sni for the injection paths, ""
+	// when nothing censored the URL.
+	Mechanism mechanism.Kind
+	// MechProduct is the mechanism-attributed product (for http, the
+	// block-page classification's product).
+	MechProduct string
+	// MechEvidence is the quirk summary backing the attribution.
+	MechEvidence string
+}
+
+// Censored reports whether any mechanism blocked the URL.
+func (r *MechanismResult) Censored() bool { return r.Mechanism != "" }
+
+// Degraded shadows Result.Degraded: an attributed mechanism is
+// conclusive evidence, so a censored URL's base-fetch transport failure
+// (the forged NXDOMAIN, the injected reset) IS the censorship, not
+// degradation. Uncensored results keep the HTTP-only semantics.
+func (r *MechanismResult) Degraded() (string, bool) {
+	if r.Censored() {
+		return "", false
+	}
+	return r.Result.Degraded()
+}
+
+// probeOf returns the probe for kind, if it ran.
+func (r *MechanismResult) probeOf(kind mechanism.Kind) (MechanismProbe, bool) {
+	for _, p := range r.Probes {
+		if p.Kind == kind {
+			return p, true
+		}
+	}
+	return MechanismProbe{}, false
+}
+
+// TestURLMechanisms measures one URL from both vantages and runs the
+// mechanism probes. The base comparison is the exact TestURL logic —
+// HTTP-only callers see byte-identical behavior by never calling this.
+func (c *Client) TestURLMechanisms(ctx context.Context, rawurl string) MechanismResult {
+	res := MechanismResult{Result: c.TestURL(ctx, rawurl)}
+	name := hostnameOf(rawurl)
+	if name == "" {
+		res.conclude()
+		return res
+	}
+
+	// DNS probe: the field resolver's answer against the lab resolver's.
+	var labAddr netip.Addr
+	if c.Field.Resolver.IsValid() && c.Lab != nil && c.Lab.Resolver.IsValid() {
+		probe, addr := c.dnsProbe(ctx, name)
+		labAddr = addr
+		res.Probes = append(res.Probes, probe)
+	}
+
+	// Target for the stream probes: the honest address when the lab
+	// resolver produced one (isolating RST/SNI from DNS poisoning), else
+	// whatever the field's own resolution path yields.
+	res.Probes = append(res.Probes, c.rstProbe(ctx, name, labAddr))
+	res.Probes = append(res.Probes, c.sniProbe(ctx, name, labAddr))
+	res.conclude()
+	return res
+}
+
+// conclude derives the Mechanism/MechProduct/MechEvidence triple from
+// the base verdict and the probe outcomes.
+func (r *MechanismResult) conclude() {
+	dns, dnsOK := r.probeOf(mechanism.KindDNS)
+	rst, rstOK := r.probeOf(mechanism.KindRST)
+	sni, sniOK := r.probeOf(mechanism.KindSNI)
+	switch {
+	case r.Verdict == Blocked && r.Matched:
+		if dnsOK && dns.Detected {
+			// The block page arrived, but resolution was forged: the page
+			// is the sinkhole's, so DNS is the operative mechanism.
+			r.Mechanism = mechanism.KindDNS
+			r.MechProduct, r.MechEvidence = dns.Product, dns.Evidence
+			if r.MechProduct == "" {
+				r.MechProduct = r.BlockMatch.Product
+			}
+			return
+		}
+		r.Mechanism = mechanism.KindHTTP
+		r.MechProduct = r.BlockMatch.Product
+		r.MechEvidence = "block page: " + r.BlockMatch.Pattern
+	case dnsOK && dns.Detected:
+		// DNS interdiction fires before any TCP segment leaves the
+		// subscriber: when both DNS and stream mechanisms are present,
+		// the user-visible frontline is the forged (or refused) answer.
+		r.Mechanism = mechanism.KindDNS
+		r.MechProduct, r.MechEvidence = dns.Product, dns.Evidence
+	case rstOK && rst.Detected:
+		r.Mechanism = mechanism.KindRST
+		r.MechProduct, r.MechEvidence = rst.Product, rst.Evidence
+	case sniOK && sni.Detected:
+		r.Mechanism = mechanism.KindSNI
+		r.MechProduct, r.MechEvidence = sni.Product, sni.Evidence
+	case r.Verdict == Blocked:
+		r.Mechanism = mechanism.KindHTTP
+	}
+}
+
+// hostnameOf extracts the lower-cased hostname from a URL.
+func hostnameOf(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// queryID derives a deterministic DNS query ID from the name (real
+// clients randomize; determinism keeps replays byte-identical).
+func queryID(name string) uint16 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return uint16(h>>16) ^ uint16(h)
+}
+
+// dnsLookup queries resolver for name over TCP from v's host.
+func dnsLookup(ctx context.Context, v *Vantage, name string) (*mechanism.Message, error) {
+	conn, err := v.Host.Dial(ctx, v.Resolver, 53)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	q, err := mechanism.BuildQuery(queryID(name), name)
+	if err != nil {
+		return nil, err
+	}
+	if err := mechanism.WriteTCP(conn, q); err != nil {
+		return nil, err
+	}
+	raw, err := mechanism.ReadTCP(conn)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mechanism.ParseMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if m.ID != queryID(name) {
+		return nil, fmt.Errorf("measurement: dns response id mismatch")
+	}
+	return m, nil
+}
+
+// dnsProbe compares the field resolver's answer with the lab's and
+// returns the probe plus the lab's (honest) address for reuse by the
+// stream probes.
+func (c *Client) dnsProbe(ctx context.Context, name string) (MechanismProbe, netip.Addr) {
+	probe := MechanismProbe{Kind: mechanism.KindDNS}
+	field, ferr := dnsLookup(ctx, c.Field, name)
+	lab, lerr := dnsLookup(ctx, c.Lab, name)
+	var labAddr netip.Addr
+	if lerr == nil && len(lab.Answers) > 0 {
+		labAddr = lab.Answers[0].Addr
+	}
+	switch {
+	case ferr != nil && lerr != nil:
+		probe.Degraded = "field resolver: " + ferr.Error() + "; lab resolver: " + lerr.Error()
+	case ferr != nil:
+		probe.Degraded = "field resolver: " + ferr.Error()
+	case lerr != nil:
+		probe.Degraded = "lab resolver: " + lerr.Error()
+	case field.RCode == mechanism.RCodeNXDomain && lab.RCode == mechanism.RCodeNoError && len(lab.Answers) > 0:
+		probe.Detected = true
+		probe.NXDomain = true
+		probe.Evidence = "nxdomain injection (lab resolves " + labAddr.String() + ")"
+		if sig, ok := mechanism.MatchDNS(netip.Addr{}, true, 0); ok {
+			probe.Product, probe.Evidence = sig.Product, sig.Evidence()
+		}
+	case field.RCode == mechanism.RCodeNoError && len(field.Answers) > 0 && labAddr.IsValid() &&
+		field.Answers[0].Addr != labAddr:
+		a := field.Answers[0]
+		probe.Detected = true
+		probe.Sinkhole, probe.TTL = a.Addr, a.TTL
+		probe.Evidence = fmt.Sprintf("forged answer %s ttl=%d (unattributed)", a.Addr, a.TTL)
+		if sig, ok := mechanism.MatchDNS(a.Addr, false, a.TTL); ok {
+			probe.Product, probe.Evidence = sig.Product, sig.Evidence()
+		}
+	}
+	return probe, labAddr
+}
+
+// streamDial opens the stream-probe connection: to the honest address
+// when one is known, else through the field's own resolution path.
+func (c *Client) streamDial(ctx context.Context, name string, honest netip.Addr, port uint16) (net.Conn, error) {
+	if honest.IsValid() {
+		return c.Field.Host.DialNamed(ctx, honest, port, name)
+	}
+	return c.Field.Host.DialHost(ctx, name, port)
+}
+
+// rstProbe performs one raw HTTP exchange and discriminates an injected
+// reset (with its TTL/window fingerprint and a sidedness follow-up
+// write) from timeouts, refusals and ordinary responses.
+func (c *Client) rstProbe(ctx context.Context, name string, honest netip.Addr) MechanismProbe {
+	probe := MechanismProbe{Kind: mechanism.KindRST}
+	conn, err := c.streamDial(ctx, name, honest, 80)
+	if err != nil {
+		// Refused / unreachable / nxdomain at dial time is not an RST.
+		return probe
+	}
+	defer conn.Close()
+	req := "GET / HTTP/1.1\r\nHost: " + name + "\r\nConnection: close\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		probe.Degraded = "write: " + err.Error()
+		return probe
+	}
+	buf := make([]byte, 512)
+	_, err = conn.Read(buf)
+	var re *netsim.ResetError
+	if !errors.As(err, &re) {
+		return probe
+	}
+	probe.Detected = true
+	probe.TTL, probe.Window = uint32(re.TTL), re.Window
+	// Sidedness: after a one-sided reset the client's further writes
+	// still go through; a bidirectional injector kills both halves.
+	_, werr := conn.Write([]byte("X"))
+	var re2 *netsim.ResetError
+	probe.Bidirectional = errors.As(werr, &re2)
+	side := "one-sided"
+	if probe.Bidirectional {
+		side = "bidirectional"
+	}
+	probe.Evidence = fmt.Sprintf("rst ttl=%d win=%d %s (unattributed)", re.TTL, re.Window, side)
+	if sig, ok := mechanism.MatchRST(re.TTL, re.Window, probe.Bidirectional); ok {
+		probe.Product, probe.Evidence = sig.Product, sig.Evidence()
+	}
+	return probe
+}
+
+// sniProbe sends a ClientHello bearing the name and classifies the
+// response (ServerHello, injected reset, or silent drop). A detection
+// triggers the ESNI-style follow-up: a hello omitting server_name, to
+// learn whether omission evades the filter.
+func (c *Client) sniProbe(ctx context.Context, name string, honest netip.Addr) MechanismProbe {
+	probe := MechanismProbe{Kind: mechanism.KindSNI}
+	verdict, re, err := c.helloExchange(ctx, name, honest, name)
+	if err != nil {
+		probe.Degraded = err.Error()
+		return probe
+	}
+	switch verdict {
+	case helloAnswered, helloUnfiltered:
+		return probe
+	case helloReset:
+		probe.Detected = true
+		probe.TTL, probe.Window = uint32(re.TTL), re.Window
+	case helloDropped:
+		probe.Detected, probe.Drop = true, true
+	}
+	// ESNI-style omission follow-up: does a hello without server_name get
+	// through?
+	ev, _, everr := c.helloExchange(ctx, name, honest, "")
+	if everr != nil {
+		probe.Degraded = "esni follow-up: " + everr.Error()
+	} else {
+		probe.BlocksWithoutSNI = ev == helloReset || ev == helloDropped
+	}
+	if probe.Drop {
+		probe.Evidence = "sni silent drop (unattributed)"
+	} else {
+		probe.Evidence = fmt.Sprintf("sni reset ttl=%d win=%d (unattributed)", probe.TTL, probe.Window)
+	}
+	if everr == nil {
+		if sig, ok := mechanism.MatchSNI(probe.Drop, uint8(probe.TTL), probe.Window, probe.BlocksWithoutSNI); ok {
+			probe.Product, probe.Evidence = sig.Product, sig.Evidence()
+		}
+	}
+	return probe
+}
+
+// helloExchange outcomes.
+type helloVerdict int
+
+const (
+	helloUnfiltered helloVerdict = iota // no TLS service / closed without answer
+	helloAnswered                       // ServerHello came back
+	helloReset                          // injected RST
+	helloDropped                        // silent blackhole (timeout)
+)
+
+// helloExchange dials 443, sends one ClientHello (serverName may be
+// empty for the omission probe) and classifies what comes back.
+func (c *Client) helloExchange(ctx context.Context, name string, honest netip.Addr, serverName string) (helloVerdict, *netsim.ResetError, error) {
+	conn, err := c.streamDial(ctx, name, honest, 443)
+	if err != nil {
+		// No TLS listener (or unreachable): nothing to filter.
+		return helloUnfiltered, nil, nil
+	}
+	defer conn.Close()
+	if _, err := conn.Write(mechanism.BuildClientHello(serverName)); err != nil {
+		var re *netsim.ResetError
+		if errors.As(err, &re) {
+			return helloReset, re, nil
+		}
+		return helloUnfiltered, nil, fmt.Errorf("clienthello write: %w", err)
+	}
+	buf := make([]byte, 1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		var re *netsim.ResetError
+		if errors.As(err, &re) {
+			return helloReset, re, nil
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return helloDropped, nil, nil
+		}
+		// EOF / chaos noise: treat as unfiltered rather than inventing a
+		// mechanism.
+		return helloUnfiltered, nil, nil
+	}
+	if mechanism.IsServerHello(buf[:n]) {
+		return helloAnswered, nil, nil
+	}
+	return helloUnfiltered, nil, nil
+}
+
+// TestListMechanisms runs TestURLMechanisms over the list through the
+// shared worker pool with the same retry/breaker/partial-result
+// semantics as TestList, returning results in list order.
+func (c *Client) TestListMechanisms(ctx context.Context, urls []string) []MechanismResult {
+	cfg := c.engineConfig()
+	last := make([]MechanismResult, len(urls))
+	idxs := make([]int, len(urls))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	vantage := ""
+	if c.Field != nil {
+		vantage = c.Field.Name
+	}
+	results := engine.MapResults(ctx, cfg, StageMechMeasure, idxs, func(ctx context.Context, i int) (MechanismResult, error) {
+		u := urls[i]
+		key := "mech-measure:" + vantage + ":" + u
+		if !cfg.Breaker.Allow(key) {
+			return MechanismResult{}, engine.Fatal(fmt.Errorf("mech-measure %s: %w", u, engine.ErrCircuitOpen))
+		}
+		r := c.TestURLMechanisms(ctx, u)
+		last[i] = r
+		if detail, degraded := r.Degraded(); degraded {
+			err := fmt.Errorf("mech-measure %s: %s", u, detail)
+			cfg.Breaker.Record(key, err)
+			return MechanismResult{}, err
+		}
+		cfg.Breaker.Record(key, nil)
+		return r, nil
+	})
+	out := make([]MechanismResult, 0, len(urls))
+	for i, r := range results {
+		if r.Err != nil {
+			if last[i].URL != "" {
+				out = append(out, last[i])
+			}
+			continue
+		}
+		out = append(out, r.Value)
+	}
+	return out
+}
+
+// MechanismSummary aggregates mechanism results for one vantage.
+type MechanismSummary struct {
+	Total    int
+	Censored int
+	// ByMechanism counts censored URLs per operative mechanism.
+	ByMechanism map[mechanism.Kind]int
+	// Findings lists the distinct (mechanism, product) attributions with
+	// their evidence, sorted for stable rendering.
+	Findings []mechanism.Finding
+}
+
+// SummarizeMechanisms tallies mechanism results.
+func SummarizeMechanisms(results []MechanismResult) MechanismSummary {
+	s := MechanismSummary{Total: len(results), ByMechanism: make(map[mechanism.Kind]int)}
+	seen := make(map[string]bool)
+	for i := range results {
+		r := &results[i]
+		if !r.Censored() {
+			continue
+		}
+		s.Censored++
+		s.ByMechanism[r.Mechanism]++
+		product := r.MechProduct
+		if product == "" {
+			product = "(unattributed)"
+		}
+		key := string(r.Mechanism) + "\x00" + product + "\x00" + r.MechEvidence
+		if !seen[key] {
+			seen[key] = true
+			s.Findings = append(s.Findings, mechanism.Finding{
+				Kind:     r.Mechanism,
+				Product:  product,
+				Evidence: r.MechEvidence,
+			})
+		}
+		// Mixed deployments: probes that fired beyond the concluded
+		// frontline mechanism (e.g. RST injection behind DNS poisoning)
+		// are findings too — the deployment runs both.
+		for _, p := range r.Probes {
+			if !p.Detected || p.Kind == r.Mechanism {
+				continue
+			}
+			pp := p.Product
+			if pp == "" {
+				pp = "(unattributed)"
+			}
+			pkey := string(p.Kind) + "\x00" + pp + "\x00" + p.Evidence
+			if !seen[pkey] {
+				seen[pkey] = true
+				s.Findings = append(s.Findings, mechanism.Finding{
+					Kind:     p.Kind,
+					Product:  pp,
+					Evidence: p.Evidence,
+				})
+			}
+		}
+	}
+	mechanism.SortFindings(s.Findings)
+	sort.SliceStable(s.Findings, func(i, j int) bool {
+		if s.Findings[i].Kind != s.Findings[j].Kind || s.Findings[i].Product != s.Findings[j].Product {
+			return false
+		}
+		return s.Findings[i].Evidence < s.Findings[j].Evidence
+	})
+	return s
+}

@@ -1,0 +1,57 @@
+package mechanism
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// BenchmarkMechanismProbes measures the per-probe parsing costs on the
+// mechanism hot paths: decoding a resolver's (possibly forged) DNS
+// answer and classifying a sniffed ClientHello. These run once per probe
+// — per URL, per vantage — so they sit on the measurement inner loop the
+// same way ClassifyChain does for HTTP. The RST-discrimination leg lives
+// in internal/measurement (it needs the netsim error types). Tracked in
+// BENCH_mechanisms.json via scripts/bench_json.sh.
+func BenchmarkMechanismProbes(b *testing.B) {
+	b.Run("DNSParse", func(b *testing.B) {
+		resp, err := BuildResponse(7, "global-media-freedom.org", RCodeNoError,
+			[]Answer{{TTL: 300, Addr: netip.MustParseAddr("203.0.113.40")}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(resp)))
+		for i := 0; i < b.N; i++ {
+			m, err := ParseMessage(resp)
+			if err != nil || len(m.Answers) != 1 {
+				b.Fatalf("parse: %v (%+v)", err, m)
+			}
+		}
+	})
+	b.Run("SNIClassify", func(b *testing.B) {
+		hello := BuildClientHello("global-media-freedom.org")
+		b.ReportAllocs()
+		b.SetBytes(int64(len(hello)))
+		for i := 0; i < b.N; i++ {
+			sni, present, err := ParseClientHello(hello)
+			if err != nil || !present || sni == "" {
+				b.Fatalf("parse: %q %v %v", sni, present, err)
+			}
+		}
+	})
+	b.Run("SignatureMatch", func(b *testing.B) {
+		sink := netip.MustParseAddr("203.0.113.40")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := MatchDNS(sink, false, 300); !ok {
+				b.Fatal("dns signature lost")
+			}
+			if _, ok := MatchRST(64, 8192, false); !ok {
+				b.Fatal("rst signature lost")
+			}
+			if _, ok := MatchSNI(true, 0, 0, true); !ok {
+				b.Fatal("sni signature lost")
+			}
+		}
+	})
+}

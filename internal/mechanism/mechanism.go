@@ -1,0 +1,227 @@
+// Package mechanism models censorship mechanisms beyond in-path HTTP
+// block pages: DNS poisoning/injection, TCP RST injection, and SNI-based
+// TLS filtering. The paper's method identifies filtering *products* from
+// the block pages they serve; real deployments of the same products also
+// censor off-path — forging DNS answers toward a sinkhole, injecting
+// resets keyed on the HTTP Host header, or killing TLS handshakes whose
+// ClientHello carries a filtered server name.
+//
+// Each mechanism leaves product-attributable quirks on the wire — the
+// sinkhole address and forged-record TTL, the injected RST's IP TTL and
+// TCP window, whether the block survives an ESNI-style SNI omission —
+// and this package is the ground truth for those quirks: the signature
+// tables the synthetic deployments are built from and the Match*
+// functions the detection side attributes observations with. It also
+// carries the wire codecs the per-mechanism probes need (a minimal DNS
+// message codec in dnswire.go, a TLS ClientHello builder/parser in
+// clienthello.go) so the measurement layer takes no new dependencies.
+package mechanism
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Kind enumerates the censorship mechanisms the system can detect.
+type Kind string
+
+const (
+	// KindHTTP is the paper's baseline: an in-path middlebox answering
+	// filtered HTTP requests with a block page.
+	KindHTTP Kind = "http"
+	// KindDNS is DNS poisoning/injection: the resolver path forges A
+	// records toward a sinkhole or injects NXDOMAIN.
+	KindDNS Kind = "dns"
+	// KindRST is TCP RST injection keyed on the HTTP Host header (or the
+	// dialed hostname): the request reaches the server, the client's
+	// connection is reset.
+	KindRST Kind = "rst"
+	// KindSNI is SNI-based TLS filtering: the ClientHello's server_name
+	// triggers a reset or a silent drop before any handshake completes.
+	KindSNI Kind = "sni"
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string { return string(k) }
+
+// Kinds lists every mechanism kind in report order (the HTTP baseline
+// first, then the off-path mechanisms alphabetically).
+func Kinds() []Kind { return []Kind{KindHTTP, KindDNS, KindRST, KindSNI} }
+
+// Product names, matching internal/fingerprint's constants. The package
+// keeps its own copies for the same reason fingerprint does: the
+// signature layer must not depend on the implementations it detects.
+const (
+	ProductBlueCoat    = "Blue Coat"
+	ProductSmartFilter = "McAfee SmartFilter"
+	ProductNetsweeper  = "Netsweeper"
+	ProductWebsense    = "Websense"
+)
+
+// DNSSignature is one product's DNS-poisoning quirk set: either a forged
+// A record toward a fixed sinkhole with a characteristic TTL, or an
+// injected NXDOMAIN.
+type DNSSignature struct {
+	Product string
+	// Sinkhole is the forged answer's address (invalid when NXDomain).
+	Sinkhole netip.Addr
+	// NXDomain marks products that inject NXDOMAIN instead of forging an
+	// address.
+	NXDomain bool
+	// TTL is the forged record's time-to-live quirk (0 for NXDomain).
+	TTL uint32
+}
+
+// Evidence renders the observable quirk as a stable report string.
+func (s DNSSignature) Evidence() string {
+	if s.NXDomain {
+		return "nxdomain injection"
+	}
+	return fmt.Sprintf("sinkhole=%s ttl=%d", s.Sinkhole, s.TTL)
+}
+
+// RSTSignature is one product's RST-injection quirk set: the injected
+// segment's IP TTL and TCP window, and whether the reset is sent to both
+// ends (bidirectional) or only toward the client (one-sided — the server
+// keeps its half open and later client bytes still sail past the
+// injector).
+type RSTSignature struct {
+	Product       string
+	TTL           uint8
+	Window        uint16
+	Bidirectional bool
+}
+
+// Evidence renders the observable quirk as a stable report string.
+func (s RSTSignature) Evidence() string {
+	side := "one-sided"
+	if s.Bidirectional {
+		side = "bidirectional"
+	}
+	return fmt.Sprintf("rst ttl=%d win=%d %s", s.TTL, s.Window, side)
+}
+
+// SNISignature is one product's SNI-filtering quirk set: whether a
+// filtered ClientHello is answered with an injected reset (with its own
+// TTL/window fingerprint) or silently dropped, and whether the block
+// survives an ESNI-style ClientHello with no server_name extension.
+type SNISignature struct {
+	Product string
+	// Drop selects silent-drop behaviour (the probe times out); false
+	// means an injected reset described by RSTTTL/RSTWindow.
+	Drop      bool
+	RSTTTL    uint8
+	RSTWindow uint16
+	// BlocksWithoutSNI marks deployments that also kill ClientHellos
+	// carrying no server_name (falling back to destination-IP blocking),
+	// so ESNI-style omission does not evade them.
+	BlocksWithoutSNI bool
+}
+
+// Evidence renders the observable quirk as a stable report string.
+func (s SNISignature) Evidence() string {
+	action := fmt.Sprintf("sni reset ttl=%d win=%d", s.RSTTTL, s.RSTWindow)
+	if s.Drop {
+		action = "sni silent drop"
+	}
+	if s.BlocksWithoutSNI {
+		return action + "; blocks without sni"
+	}
+	return action + "; esni-style omission evades"
+}
+
+// DNSSignatures returns the product DNS-poisoning signature table.
+func DNSSignatures() []DNSSignature {
+	return []DNSSignature{
+		{Product: ProductNetsweeper, Sinkhole: netip.MustParseAddr("203.0.113.40"), TTL: 300},
+		{Product: ProductBlueCoat, Sinkhole: netip.MustParseAddr("198.51.100.25"), TTL: 3600},
+		{Product: ProductSmartFilter, NXDomain: true},
+	}
+}
+
+// RSTSignatures returns the product RST-injection signature table.
+func RSTSignatures() []RSTSignature {
+	return []RSTSignature{
+		{Product: ProductNetsweeper, TTL: 64, Window: 8192, Bidirectional: false},
+		{Product: ProductBlueCoat, TTL: 128, Window: 16384, Bidirectional: true},
+		{Product: ProductSmartFilter, TTL: 255, Window: 512, Bidirectional: false},
+	}
+}
+
+// SNISignatures returns the product SNI-filtering signature table.
+func SNISignatures() []SNISignature {
+	return []SNISignature{
+		{Product: ProductNetsweeper, RSTTTL: 64, RSTWindow: 4096, BlocksWithoutSNI: false},
+		{Product: ProductBlueCoat, Drop: true, BlocksWithoutSNI: true},
+		{Product: ProductWebsense, RSTTTL: 255, RSTWindow: 4096, BlocksWithoutSNI: true},
+	}
+}
+
+// MatchDNS attributes an observed DNS-poisoning behaviour to a product.
+// An NXDomain observation matches on that flag alone; a sinkhole
+// observation must match the forged address (the TTL corroborates but a
+// mismatched TTL rejects, so two products cannot share a sinkhole).
+func MatchDNS(sinkhole netip.Addr, nxdomain bool, ttl uint32) (DNSSignature, bool) {
+	for _, s := range DNSSignatures() {
+		if nxdomain {
+			if s.NXDomain {
+				return s, true
+			}
+			continue
+		}
+		if !s.NXDomain && s.Sinkhole == sinkhole && s.TTL == ttl {
+			return s, true
+		}
+	}
+	return DNSSignature{}, false
+}
+
+// MatchRST attributes an observed injected reset to a product by its
+// TTL/window fingerprint and sidedness.
+func MatchRST(ttl uint8, window uint16, bidirectional bool) (RSTSignature, bool) {
+	for _, s := range RSTSignatures() {
+		if s.TTL == ttl && s.Window == window && s.Bidirectional == bidirectional {
+			return s, true
+		}
+	}
+	return RSTSignature{}, false
+}
+
+// MatchSNI attributes an observed SNI-filtering behaviour to a product. A
+// silent drop matches on the drop flag plus the ESNI-omission quirk; a
+// reset additionally matches its TTL/window fingerprint.
+func MatchSNI(drop bool, ttl uint8, window uint16, blocksWithoutSNI bool) (SNISignature, bool) {
+	for _, s := range SNISignatures() {
+		if s.Drop != drop || s.BlocksWithoutSNI != blocksWithoutSNI {
+			continue
+		}
+		if drop || (s.RSTTTL == ttl && s.RSTWindow == window) {
+			return s, true
+		}
+	}
+	return SNISignature{}, false
+}
+
+// Finding is one attributed mechanism observation: which mechanism
+// blocked, which product's quirks it matched, and the evidence string.
+type Finding struct {
+	Kind     Kind
+	Product  string
+	Evidence string
+}
+
+// SortFindings orders findings for stable reporting: by kind (report
+// order), then product.
+func SortFindings(fs []Finding) {
+	rank := make(map[Kind]int, len(Kinds()))
+	for i, k := range Kinds() {
+		rank[k] = i
+	}
+	sort.SliceStable(fs, func(i, j int) bool {
+		if rank[fs[i].Kind] != rank[fs[j].Kind] {
+			return rank[fs[i].Kind] < rank[fs[j].Kind]
+		}
+		return fs[i].Product < fs[j].Product
+	})
+}

@@ -274,15 +274,22 @@ func (n *Network) injectFault(ctx context.Context, info DialInfo) (net.Conn, err
 }
 
 // serveUnavailable answers one intercepted connection with a synthetic
-// 503 — an overloaded intermediary with no product evidence.
+// 503 — an overloaded intermediary with no product evidence. A first
+// flight that is not an HTTP request head (a TLS ClientHello, a DNS
+// query) gets the 503 immediately: waiting for a CRLF-terminated head
+// that will never arrive would wedge both ends.
 func serveUnavailable(conn net.Conn) {
 	defer conn.Close()
-	// Consume the request head so the client's write completes.
+	// Consume the request head so the client's write completes. An HTTP
+	// request line starts with an uppercase method; anything else is a
+	// binary protocol whose head has no terminating blank line.
 	br := bufio.NewReader(io.LimitReader(conn, 64<<10))
-	for {
-		line, err := br.ReadString('\n')
-		if err != nil || line == "\r\n" || line == "\n" {
-			break
+	if first, err := br.Peek(1); err == nil && first[0] >= 'A' && first[0] <= 'Z' {
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil || line == "\r\n" || line == "\n" {
+				break
+			}
 		}
 	}
 	body := "service unavailable\n"

@@ -58,6 +58,7 @@ type listener struct {
 	mu         sync.Mutex
 	closed     bool
 	backlog    chan net.Conn
+	done       chan struct{} // closed with the listener; unblocks queued dialers
 }
 
 // Listen binds port with Public visibility.
@@ -77,7 +78,7 @@ func (h *Host) ListenVisibility(port uint16, vis Visibility) (net.Listener, erro
 	if _, dup := h.listeners[port]; dup {
 		return nil, fmt.Errorf("%w: %s:%d", ErrAddrInUse, h.addr, port)
 	}
-	l := &listener{host: h, port: port, visibility: vis, backlog: make(chan net.Conn, 64)}
+	l := &listener{host: h, port: port, visibility: vis, backlog: make(chan net.Conn, 64), done: make(chan struct{})}
 	h.listeners[port] = l
 	return l, nil
 }
@@ -156,21 +157,31 @@ func (h *Host) deliver(src *Host, port uint16, info DialInfo) (net.Conn, error) 
 	if closed {
 		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, h.addr, port)
 	}
+	// A full accept queue parks the dialer until the listener drains it,
+	// the way SYN retransmission rides out a transient backlog overflow.
+	// Only a closed listener refuses outright.
 	select {
 	case l.backlog <- server:
 		return client, nil
-	default:
-		return nil, fmt.Errorf("%w: %s:%d (backlog full)", ErrConnRefused, h.addr, port)
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, h.addr, port)
 	}
 }
 
 // Accept implements net.Listener.
 func (l *listener) Accept() (net.Conn, error) {
-	c, ok := <-l.backlog
-	if !ok {
+	// Drain connections queued before close so no accepted dial is lost.
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	default:
+	}
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
 		return nil, net.ErrClosed
 	}
-	return c, nil
 }
 
 // Close implements net.Listener.
@@ -189,7 +200,10 @@ func (l *listener) close() {
 	defer l.mu.Unlock()
 	if !l.closed {
 		l.closed = true
-		close(l.backlog)
+		// The backlog channel is never closed: dialers may be blocked
+		// sending into it. Closing done unblocks them with ErrConnRefused
+		// and wakes Accept once the queue drains.
+		close(l.done)
 	}
 }
 
@@ -204,12 +218,21 @@ func (h *Host) Dial(ctx context.Context, dst netip.Addr, port uint16) (net.Conn,
 
 // DialHost resolves name and dials it, recording the name in the DialInfo
 // seen by interceptors (analogous to a transparent proxy observing SNI).
+// Resolution goes through the host's ISP resolver path, which a DNS
+// poisoning mechanism may forge.
 func (h *Host) DialHost(ctx context.Context, name string, port uint16) (net.Conn, error) {
-	addr, err := h.network.Resolve(name)
+	addr, err := h.network.resolveFor(h, name)
 	if err != nil {
 		return nil, err
 	}
 	return h.network.dial(ctx, h, addr, port, name)
+}
+
+// DialNamed dials dst:port while recording hostname in the DialInfo the
+// ISP's middleboxes see — the shape of a probe that resolved the name
+// elsewhere (e.g. an honest resolver) but still speaks to it by name.
+func (h *Host) DialNamed(ctx context.Context, dst netip.Addr, port uint16, hostname string) (net.Conn, error) {
+	return h.network.dial(ctx, h, dst, port, hostname)
 }
 
 // Dialer adapts the host to the httpwire.Dialer shape: a function from

@@ -88,6 +88,7 @@ type ISP struct {
 
 	mu          sync.RWMutex
 	interceptor Interceptor
+	mechanisms  *Mechanisms
 	hosts       []*Host
 }
 
@@ -477,7 +478,16 @@ func (n *Network) dial(ctx context.Context, src *Host, dst netip.Addr, port uint
 	if err != nil {
 		return nil, err
 	}
-	return wrapConn(c), nil
+	conn := wrapConn(c)
+	// Off-path stream injection: when the subscriber's ISP runs a Host or
+	// SNI filter, the established stream passes through an injector that
+	// sniffs the first flight and may reset or blackhole it. It wraps
+	// outside the fault layer: chaos mangling happens on the wire, the
+	// injector sits at the ISP edge nearer the client.
+	if m := needsStreamInspection(src, dstHost); m != nil {
+		conn = &mechConn{Conn: conn, info: info, mech: m}
+	}
+	return conn, nil
 }
 
 func sameISP(isp *ISP, dst *Host) bool {

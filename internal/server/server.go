@@ -11,11 +11,12 @@
 //	POST /v1/confirm       §4 campaigns  (same dispatch)
 //	POST /v1/characterize  §5 runs       (same dispatch)
 //	POST /v1/discover      crawl-based blocked-URL discovery (same dispatch)
+//	POST /v1/mechanisms    DNS/RST/SNI mechanism survey (same dispatch)
 //	POST /v1/jobs          submit a background job {kind, request}
 //	GET  /v1/jobs          list jobs
 //	GET  /v1/jobs/{id}     job state + result
 //	DELETE /v1/jobs/{id}   cancel
-//	GET  /v1/reports/{kind}  table1|table3|table4|figure1|installations (sync)
+//	GET  /v1/reports/{kind}  table1|table3|table4|figure1|installations|mechanisms (sync)
 //	GET  /healthz          liveness
 //	GET  /metrics          request/cache/job/engine counters
 //
@@ -56,6 +57,7 @@ const (
 	KindConfirm      = "confirm"
 	KindCharacterize = "characterize"
 	KindDiscover     = "discover"
+	KindMechanisms   = "mechanisms"
 )
 
 // Options configures a Server. The zero value serves the default world
@@ -172,6 +174,7 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	handle("POST /v1/confirm", s.handleConfirm)
 	handle("POST /v1/characterize", s.handleCharacterize)
 	handle("POST /v1/discover", s.handleDiscover)
+	handle("POST /v1/mechanisms", s.handleMechanisms)
 	handle("POST /v1/jobs", s.handleJobSubmit)
 	handle("GET /v1/jobs", s.handleJobList)
 	handle("GET /v1/jobs/{id}", s.handleJobGet)
@@ -267,6 +270,10 @@ type WorldConfig struct {
 	ScrubHeaders      bool `json:"scrub_headers,omitempty"`
 	FilterSubmissions bool `json:"filter_submissions,omitempty"`
 	DisableDuSyncLag  bool `json:"disable_du_sync_lag,omitempty"`
+	// Mechanisms enables the DNS/RST/SNI censoring-ISP roster (the
+	// mechanism survey's world). Kept a bool so WorldConfig stays
+	// comparable; options() expands it to world.MechanismOptions.
+	Mechanisms bool `json:"mechanisms,omitempty"`
 }
 
 func (c WorldConfig) zero() bool { return c == WorldConfig{} }
@@ -278,6 +285,11 @@ func (c WorldConfig) options(base world.Options) world.Options {
 	base.ScrubHeaders = c.ScrubHeaders
 	base.FilterSubmissions = c.FilterSubmissions
 	base.DisableDuSyncLag = c.DisableDuSyncLag
+	if c.Mechanisms {
+		base.Mechanisms = &world.MechanismOptions{}
+	} else {
+		base.Mechanisms = nil
+	}
 	return base
 }
 
@@ -374,6 +386,33 @@ func (r *DiscoverRequest) normalize() error {
 	return nil
 }
 
+// MechanismsRequest parameterizes POST /v1/mechanisms.
+type MechanismsRequest struct {
+	// ISPs restricts the survey to named roster ISPs (empty = the whole
+	// mechanism roster).
+	ISPs []string `json:"isps,omitempty"`
+	// World selects evasion scenarios; normalize forces World.Mechanisms
+	// on, since the survey is meaningless without the censoring roster.
+	World WorldConfig `json:"world,omitempty"`
+}
+
+func (r *MechanismsRequest) normalize() error {
+	r.ISPs = sortDedupe(r.ISPs)
+	known := make(map[string]bool)
+	for _, isp := range world.MechanismRosterISPs() {
+		known[isp] = true
+	}
+	for _, isp := range r.ISPs {
+		if !known[isp] {
+			return badRequestf("unknown mechanism-roster ISP %q", isp)
+		}
+	}
+	// The flag participates in the request key via worldHash, so two
+	// clients that differ only in whether they spelled it out coalesce.
+	r.World.Mechanisms = true
+	return nil
+}
+
 func sortDedupe(in []string) []string {
 	if len(in) == 0 {
 		return nil
@@ -406,6 +445,8 @@ func worldConfigOf(req any) WorldConfig {
 	case *CharacterizeRequest:
 		return r.World
 	case *DiscoverRequest:
+		return r.World
+	case *MechanismsRequest:
 		return r.World
 	}
 	return WorldConfig{}
@@ -479,6 +520,8 @@ func (s *Server) execute(ctx context.Context, kind string, req any) ([]byte, err
 		doc, err = s.runCharacterize(ctx, req.(*CharacterizeRequest))
 	case KindDiscover:
 		doc, err = s.runDiscover(ctx, req.(*DiscoverRequest))
+	case KindMechanisms:
+		doc, err = s.runMechanisms(ctx, req.(*MechanismsRequest))
 	default:
 		err = badRequestf("unknown kind %q", kind)
 	}
@@ -502,6 +545,8 @@ func docDegraded(doc any) bool {
 	case report.Table4Doc:
 		return d.Degraded
 	case report.DiscoveryDoc:
+		return d.Degraded
+	case report.MechanismsDoc:
 		return d.Degraded
 	default:
 		return false
@@ -637,6 +682,31 @@ func discoveryDoc(rounds, budget int, targets []world.TargetDiscovery) report.Di
 	return report.DiscoveryJSON(rounds, budget, rts, world.DiscoveredList(targets))
 }
 
+// runMechanisms executes the mechanism survey on a fresh world with the
+// censoring-ISP roster enabled (normalize guarantees World.Mechanisms),
+// probing each roster ISP's blocked domains over DNS, raw-TCP, and TLS.
+func (s *Server) runMechanisms(ctx context.Context, req *MechanismsRequest) (report.MechanismsDoc, error) {
+	w, err := world.Build(req.World.options(s.opts.World), s.engOpts...)
+	if err != nil {
+		return report.MechanismsDoc{}, err
+	}
+	defer w.Close()
+	targets, err := w.RunMechanismSurveyFor(ctx, req.ISPs)
+	if err != nil {
+		return report.MechanismsDoc{}, err
+	}
+	return mechanismsDoc(targets), nil
+}
+
+// mechanismsDoc builds the mechanism document from world targets.
+func mechanismsDoc(targets []world.MechanismSurveyTarget) report.MechanismsDoc {
+	rts := make([]report.MechanismTarget, 0, len(targets))
+	for _, t := range targets {
+		rts = append(rts, report.MechanismTarget{Country: t.Country, ISP: t.ISP, ASN: t.ASN, Results: t.Results})
+	}
+	return report.MechanismsJSON(rts)
+}
+
 // ---- handlers ----
 
 func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
@@ -703,6 +773,18 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dispatch(w, r, KindDiscover, &req)
+}
+
+func (s *Server) handleMechanisms(w http.ResponseWriter, r *http.Request) {
+	var req MechanismsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.normalize(); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.dispatch(w, r, KindMechanisms, &req)
 }
 
 // dispatch implements the pipeline endpoints' contract: synchronous when
@@ -805,6 +887,8 @@ func (s *Server) parseKindRequest(kind string, raw json.RawMessage) (any, error)
 		return unmarshal(&CharacterizeRequest{})
 	case KindDiscover:
 		return unmarshal(&DiscoverRequest{})
+	case KindMechanisms:
+		return unmarshal(&MechanismsRequest{})
 	default:
 		return nil, badRequestf("unknown job kind %q", kind)
 	}
@@ -853,6 +937,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.serveCached(w, r, KindConfirm, &ConfirmRequest{}, nil)
 	case "table4":
 		s.serveCached(w, r, KindCharacterize, &CharacterizeRequest{}, nil)
+	case "mechanisms":
+		s.serveCached(w, r, KindMechanisms, &MechanismsRequest{World: WorldConfig{Mechanisms: true}}, nil)
 	case "figure1":
 		s.serveCached(w, r, KindIdentify, &IdentifyRequest{}, nil)
 	case "installations":

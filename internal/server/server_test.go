@@ -199,6 +199,76 @@ func TestCharacterizeEndpoint(t *testing.T) {
 	wantStatus(t, resp, http.StatusBadRequest)
 }
 
+func TestMechanismsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var doc report.MechanismsDoc
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/mechanisms?wait=1",
+		MechanismsRequest{ISPs: []string{"Nayatel"}}, &doc)
+	wantStatus(t, resp, http.StatusOK)
+	if len(doc.Mechanisms) != 1 || doc.Mechanisms[0].ISP != "Nayatel" {
+		t.Fatalf("unexpected mechanisms doc: %+v", doc.Mechanisms)
+	}
+	isp := doc.Mechanisms[0]
+	if isp.Censored == 0 || len(isp.Findings) == 0 {
+		t.Fatalf("Nayatel survey found nothing: %+v", isp)
+	}
+	for _, f := range isp.Findings {
+		if f.Mechanism == "" || f.Product == "" {
+			t.Fatalf("finding missing mechanism or product: %+v", f)
+		}
+	}
+	if doc.Degraded {
+		t.Fatal("mechanism survey reported degraded on a healthy world")
+	}
+
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/mechanisms?wait=1",
+		MechanismsRequest{ISPs: []string{"NoSuchISP"}}, nil)
+	wantStatus(t, resp, http.StatusBadRequest)
+
+	// normalize forces World.Mechanisms on, so a request that spells the
+	// flag out coalesces onto the same cache key as one that omits it.
+	a := &MechanismsRequest{ISPs: []string{"Nayatel"}}
+	b := &MechanismsRequest{ISPs: []string{"Nayatel"}, World: WorldConfig{Mechanisms: true}}
+	if err := a.normalize(); err != nil {
+		t.Fatalf("normalize a: %v", err)
+	}
+	if err := b.normalize(); err != nil {
+		t.Fatalf("normalize b: %v", err)
+	}
+	if ka, kb := srv.requestKey(KindMechanisms, a), srv.requestKey(KindMechanisms, b); ka != kb {
+		t.Fatalf("request keys differ:\n  %s\n  %s", ka, kb)
+	}
+}
+
+func TestWorldConfigMechanismsOmittedWhenUnset(t *testing.T) {
+	// Mechanism-free request keys must be byte-identical to their
+	// pre-mechanism form so cached results and stored snapshot configs
+	// survive the upgrade.
+	b, err := json.Marshal(WorldConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "mechanisms") {
+		t.Fatalf("zero WorldConfig leaks the mechanisms key: %s", b)
+	}
+	srv, _ := newTestServer(t, Options{})
+	plain := srv.requestKey(KindIdentify, &IdentifyRequest{})
+	withMech := srv.requestKey(KindIdentify, &IdentifyRequest{World: WorldConfig{Mechanisms: true}})
+	if plain == withMech {
+		t.Fatal("enabling World.Mechanisms must change the request key")
+	}
+}
+
+func TestReportsMechanisms(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var doc report.MechanismsDoc
+	resp := doJSON(t, http.MethodGet, ts.URL+"/v1/reports/mechanisms", nil, &doc)
+	wantStatus(t, resp, http.StatusOK)
+	if len(doc.Mechanisms) < 9 {
+		t.Fatalf("reports/mechanisms surveyed %d ISPs, want the full roster (>= 9)", len(doc.Mechanisms))
+	}
+}
+
 func TestReportsTable1AndUnknownKind(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	var doc report.Table1Doc

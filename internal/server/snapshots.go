@@ -20,8 +20,8 @@ import (
 
 // snapshotRecordRequest is the POST /v1/snapshots body.
 type snapshotRecordRequest struct {
-	// Kind selects the pipeline: "identify", "characterize" or
-	// "discover".
+	// Kind selects the pipeline: "identify", "characterize", "discover"
+	// or "mechanisms".
 	Kind string `json:"kind"`
 	// Note is a free-form annotation stored with the snapshot.
 	Note string `json:"note,omitempty"`
@@ -40,6 +40,8 @@ func storeKindFor(kind string) (string, error) {
 		return longitudinal.KindTable4, nil
 	case KindDiscover:
 		return longitudinal.KindDiscovery, nil
+	case KindMechanisms:
+		return longitudinal.KindMechanisms, nil
 	case KindConfirm:
 		return "", badRequestf("confirmation campaigns are single-use timelines; snapshot %q or %q instead", KindIdentify, KindCharacterize)
 	default:

@@ -149,6 +149,13 @@ func (w *World) HostProfile(profile urllist.Profile) error {
 	}
 	srv := &httpwire.Server{Handler: urllist.Handler(profile)}
 	go srv.Serve(l) //nolint:errcheck // ends with listener
+	if w.Opts.Mechanisms != nil {
+		// SNI probing needs a TLS first-flight responder on 443; gated so
+		// mechanism-free worlds keep their exact port surface.
+		if err := serveTLSResponder(h); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,200 @@
+package world
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"filtermap/internal/mechanism"
+	"filtermap/internal/store"
+)
+
+func buildMechWorld(t *testing.T, seed int64) *World {
+	t.Helper()
+	w, err := Build(Options{Seed: seed, Mechanisms: &MechanismOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestMechanismRosterShape(t *testing.T) {
+	w := buildMechWorld(t, 42)
+	if len(w.MechDeployments) != len(mechRoster) {
+		t.Fatalf("got %d deployments, want %d", len(w.MechDeployments), len(mechRoster))
+	}
+	perKind := map[mechanism.Kind]int{}
+	mixed := 0
+	for _, d := range w.MechDeployments {
+		if len(d.Assignments) == 0 || len(d.BlockedDomains) == 0 {
+			t.Fatalf("deployment %s incomplete: %+v", d.ISP, d)
+		}
+		if len(d.Assignments) > 1 {
+			mixed++
+		}
+		for _, a := range d.Assignments {
+			perKind[a.Kind]++
+			if !mechProductHasKind(a.Product, a.Kind) {
+				t.Fatalf("%s assigned %s/%s with no signature", d.ISP, a.Kind, a.Product)
+			}
+		}
+	}
+	for _, k := range []mechanism.Kind{mechanism.KindDNS, mechanism.KindRST, mechanism.KindSNI} {
+		if perKind[k] < 3 {
+			t.Fatalf("only %d deployments of kind %s, want >= 3", perKind[k], k)
+		}
+	}
+	if mixed < 2 {
+		t.Fatalf("only %d mixed deployments, want >= 2", mixed)
+	}
+	// DNS-capable ISPs expose an in-ISP resolver; the lab resolver exists.
+	if !w.LabResolver.IsValid() {
+		t.Fatal("lab resolver missing")
+	}
+	for _, d := range w.MechDeployments {
+		hasDNS := false
+		for _, a := range d.Assignments {
+			hasDNS = hasDNS || a.Kind == mechanism.KindDNS
+		}
+		if _, ok := w.FieldResolvers[d.ISP]; ok != hasDNS {
+			t.Fatalf("%s: resolver presence %v, dns assignment %v", d.ISP, ok, hasDNS)
+		}
+	}
+}
+
+func TestMechanismRosterDeterministic(t *testing.T) {
+	a := buildMechWorld(t, 7)
+	b := buildMechWorld(t, 7)
+	if !reflect.DeepEqual(a.MechDeployments, b.MechDeployments) {
+		t.Fatal("same seed produced different rosters")
+	}
+	c := buildMechWorld(t, 8)
+	if reflect.DeepEqual(a.MechDeployments, c.MechDeployments) {
+		t.Fatal("different seeds produced identical rosters (rotation inert)")
+	}
+}
+
+func TestMechanismProbesRediscoverGroundTruth(t *testing.T) {
+	w := buildMechWorld(t, 42)
+	ctx := context.Background()
+	concludedKinds := map[mechanism.Kind]int{}
+	for _, d := range w.MechDeployments {
+		client, err := w.MeasureClient(d.ISP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := client.TestURLMechanisms(ctx, "http://"+d.BlockedDomains[0]+"/")
+		if !r.Censored() {
+			t.Fatalf("%s: %s not censored (verdict %s)", d.ISP, d.BlockedDomains[0], r.Verdict)
+		}
+		concludedKinds[r.Mechanism]++
+		// The concluded mechanism and product must be one of the ISP's
+		// actual deployments.
+		found := false
+		for _, a := range d.Assignments {
+			if a.Kind == r.Mechanism && a.Product == r.MechProduct {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: concluded %s/%s, deployed %+v (evidence %q)",
+				d.ISP, r.Mechanism, r.MechProduct, d.Assignments, r.MechEvidence)
+		}
+		// A clean URL from the same vantage stays clean.
+		clean := client.TestURLMechanisms(ctx, "http://global-gambling.org/")
+		if isBlockedDomain(d.BlockedDomains, "global-gambling.org") {
+			t.Fatal("test assumes global-gambling.org is never in a mechanism blocklist (Table 4 categories only)")
+		}
+		if clean.Censored() {
+			t.Fatalf("%s: clean URL censored via %s/%s", d.ISP, clean.Mechanism, clean.MechProduct)
+		}
+	}
+	for _, k := range []mechanism.Kind{mechanism.KindDNS, mechanism.KindRST, mechanism.KindSNI} {
+		if concludedKinds[k] == 0 {
+			t.Fatalf("no deployment concluded as %s: %+v", k, concludedKinds)
+		}
+	}
+}
+
+func TestMechanismMixedDeploymentShowsBothProbes(t *testing.T) {
+	w := buildMechWorld(t, 42)
+	// The first DNS ISP always mixes in an RST leg (every DNS-capable
+	// product has an RST signature).
+	var target *MechDeployment
+	for i := range w.MechDeployments {
+		d := &w.MechDeployments[i]
+		if len(d.Assignments) == 2 &&
+			d.Assignments[0].Kind == mechanism.KindDNS &&
+			d.Assignments[1].Kind == mechanism.KindRST {
+			target = d
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no dns+rst mixed deployment in roster")
+	}
+	client, err := w.MeasureClient(target.ISP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := client.TestURLMechanisms(context.Background(), "http://"+target.BlockedDomains[0]+"/")
+	var sawDNS, sawRST bool
+	for _, p := range r.Probes {
+		switch p.Kind {
+		case mechanism.KindDNS:
+			sawDNS = p.Detected
+		case mechanism.KindRST:
+			sawRST = p.Detected
+		}
+	}
+	if !sawDNS || !sawRST {
+		t.Fatalf("mixed deployment probes: dns=%v rst=%v (%+v)", sawDNS, sawRST, r.Probes)
+	}
+	if r.Mechanism != mechanism.KindDNS {
+		t.Fatalf("mixed dns+rst concluded %s, want dns (the block page path)", r.Mechanism)
+	}
+}
+
+func TestMechanismFreeWorldHasNoMechanismSurface(t *testing.T) {
+	w, err := Build(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(w.MechDeployments) != 0 || len(w.FieldResolvers) != 0 || w.LabResolver.IsValid() {
+		t.Fatalf("mechanism-free world grew mechanism state: %+v", w.MechDeployments)
+	}
+}
+
+func isBlockedDomain(list []string, domain string) bool {
+	for _, d := range list {
+		if d == domain {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMechanismOptionsOmittedFromConfigHash pins the snapshot/cache
+// compatibility contract: a mechanism-free world marshals (and hashes)
+// exactly as it did before the Mechanisms option existed, so stored
+// content IDs and fmserve cache keys from older runs stay valid.
+func TestMechanismOptionsOmittedFromConfigHash(t *testing.T) {
+	plain, err := json.Marshal(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "Mechanisms") {
+		t.Fatalf("zero Options leaks the Mechanisms key: %s", plain)
+	}
+	base := store.ConfigHash(Options{})
+	if got := store.ConfigHash(Options{Mechanisms: nil}); got != base {
+		t.Fatalf("explicit nil Mechanisms changed the hash: %s != %s", got, base)
+	}
+	if got := store.ConfigHash(Options{Mechanisms: &MechanismOptions{}}); got == base {
+		t.Fatal("enabling Mechanisms must change the config hash")
+	}
+}

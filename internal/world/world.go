@@ -97,6 +97,13 @@ type Options struct {
 	// FaultProfile names the fault plan ChaosSeed parameterizes (see
 	// netsim.FaultProfiles; "" means netsim.DefaultFaultProfile).
 	FaultProfile string `json:",omitempty"`
+
+	// Mechanisms, when non-nil, adds the multi-mechanism censorship
+	// roster: ISPs blocking via DNS poisoning, TCP RST injection and
+	// SNI-based TLS filtering (see mechanisms.go). Omitempty for the same
+	// reason as the chaos fields: mechanism-free worlds keep the
+	// ConfigHash (and thus snapshot IDs and cache keys) they always had.
+	Mechanisms *MechanismOptions `json:",omitempty"`
 }
 
 // World is the assembled simulation.
@@ -129,6 +136,16 @@ type World struct {
 	// ProxyVantage is an out-of-band submission origin (the Tor/proxy
 	// countermeasure of §6.2).
 	ProxyVantage *netsim.Host
+
+	// FieldResolvers maps ISP name -> in-ISP recursive resolver address
+	// (mechanism deployments only; the DNS probes query it directly).
+	FieldResolvers map[string]netip.Addr
+	// LabResolver is the honest comparison resolver, valid only when
+	// mechanisms are enabled.
+	LabResolver netip.Addr
+	// MechDeployments is the mechanism roster's ground truth, in roster
+	// order (empty without Options.Mechanisms).
+	MechDeployments []MechDeployment
 
 	// hostAllocator state for researcher test sites.
 	nextSiteIP netip.Addr
@@ -181,7 +198,8 @@ func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 		ASTable:    &geo.ASTable{},
 		Dir:        urllist.NewDirectory(),
 		Gen:        urllist.NewGenerator(opts.Seed + 1),
-		FieldHosts: make(map[string]*netsim.Host),
+		FieldHosts:     make(map[string]*netsim.Host),
+		FieldResolvers: make(map[string]netip.Addr),
 	}
 
 	w.BlueCoatDB = newBlueCoatDB(clock)
@@ -203,6 +221,11 @@ func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 	}
 	if err := w.buildBackgroundInstallations(); err != nil {
 		return nil, fmt.Errorf("world: background installations: %w", err)
+	}
+	if opts.Mechanisms != nil {
+		if err := w.buildMechanisms(); err != nil {
+			return nil, fmt.Errorf("world: mechanisms: %w", err)
+		}
 	}
 	if opts.FilterSubmissions {
 		w.installSubmissionFilters()
@@ -269,12 +292,16 @@ func (w *World) FieldVantage(isp string) (*measurement.Vantage, error) {
 	if !ok {
 		return nil, fmt.Errorf("world: no field host in ISP %q", isp)
 	}
-	return &measurement.Vantage{Name: "field:" + isp, Host: h}, nil
+	v := &measurement.Vantage{Name: "field:" + isp, Host: h}
+	if r, ok := w.FieldResolvers[isp]; ok {
+		v.Resolver = r
+	}
+	return v, nil
 }
 
 // LabVantage returns the Toronto lab vantage.
 func (w *World) LabVantage() *measurement.Vantage {
-	return &measurement.Vantage{Name: "lab:toronto", Host: w.Lab}
+	return &measurement.Vantage{Name: "lab:toronto", Host: w.Lab, Resolver: w.LabResolver}
 }
 
 // MeasureClient returns the dual-vantage client for an ISP.

@@ -3,17 +3,23 @@
 # their ns/op, B/op and allocs/op as JSON on stdout.
 #
 # Usage:
-#   scripts/bench_json.sh [benchtime]      # default 20x
+#   scripts/bench_json.sh [benchtime] [suite]   # default 20x classify
 #   scripts/bench_json.sh 100x > BENCH_classify.json
+#   scripts/bench_json.sh 100x mechanisms > BENCH_mechanisms.json
 #
-# The three headline benchmarks cover the hot paths rewired onto
-# internal/match (see DESIGN.md §12): the redirect-chain classifier, the
-# banner-index search, and the fingerprint identify sweep. ExtractTitle
-# rides along as the smallest isolated extractor.
+# The classify suite's three headline benchmarks cover the hot paths
+# rewired onto internal/match (see DESIGN.md §12): the redirect-chain
+# classifier, the banner-index search, and the fingerprint identify
+# sweep. ExtractTitle rides along as the smallest isolated extractor.
+#
+# The mechanisms suite covers the per-probe mechanism costs (DESIGN.md
+# §13): DNS answer parsing, ClientHello classification, quirk signature
+# matching, and the netsim-backed RST/DNS probe round trips.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-20x}"
+SUITE="${2:-classify}"
 
 run() { # run <package> <benchmark regex>
 	go test -run xxx -bench "$2" -benchtime "$BENCHTIME" -benchmem "$1" 2>&1 |
@@ -32,15 +38,32 @@ run() { # run <package> <benchmark regex>
 		}'
 }
 
-out=$(
-	run ./internal/blockpage/ '^BenchmarkClassifyChain$'
-	run ./internal/scanner/ '^BenchmarkIndexSearch$'
-	run ./internal/fingerprint/ '^BenchmarkFingerprintIdentify$'
-	run ./internal/fingerprint/ '^BenchmarkExtractTitle$'
-)
+case "$SUITE" in
+classify)
+	COMMENT="classification-core hot paths (DESIGN.md §12)"
+	out=$(
+		run ./internal/blockpage/ '^BenchmarkClassifyChain$'
+		run ./internal/scanner/ '^BenchmarkIndexSearch$'
+		run ./internal/fingerprint/ '^BenchmarkFingerprintIdentify$'
+		run ./internal/fingerprint/ '^BenchmarkExtractTitle$'
+	)
+	;;
+mechanisms)
+	COMMENT="per-probe mechanism costs: codecs, signature matching, netsim probe round trips (DESIGN.md §13)"
+	out=$(
+		run ./internal/mechanism/ '^BenchmarkMechanismProbes$'
+		run ./internal/measurement/ '^BenchmarkMechanismProbes$'
+	)
+	;;
+*)
+	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms)" >&2
+	exit 2
+	;;
+esac
 if [ -z "$out" ]; then
 	echo "bench_json.sh: no benchmark output captured" >&2
 	exit 1
 fi
 
-printf '{\n"benchmarks": [\n%s\n]\n}\n' "$(printf '%s' "$out" | sed '$ s/,$//')"
+printf '{\n"comment": "%s",\n"benchtime": "%s",\n"benchmarks": [\n%s\n]\n}\n' \
+	"$COMMENT" "$BENCHTIME" "$(printf '%s' "$out" | sed '$ s/,$//')"
