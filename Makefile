@@ -49,6 +49,16 @@ chaos-golden:
 mech-golden:
 	go test -run 'TestGoldenMechanisms' -count=1 .
 
+# The continuous-measurement determinism check: a seeded 4-tick monitor
+# run (churn + re-scans) must match testdata/monitor.golden byte-for-byte
+# at 1 and 8 workers under the race detector, and fmserve's /v1/watch
+# stream must replay missed events across a mid-stream reconnect.
+# Regenerate the golden after an intentional change with
+# `UPDATE_GOLDEN=1 go test -run TestGoldenMonitor -count=1 .`.
+.PHONY: monitor-golden
+monitor-golden:
+	go test -race -run 'TestGoldenMonitor|TestWatchSSEResume|TestWatchInvalidatesCache' -count=1 .
+
 # Short deterministic fuzzing of every wire-facing parser: each target
 # runs its seed corpus plus a few seconds of mutation. A real fuzzing
 # session replaces -fuzztime with minutes or hours.
@@ -101,6 +111,13 @@ bench-classify:
 bench-mechanisms:
 	./scripts/bench_json.sh 20x mechanisms
 
+# The continuous-measurement benchmarks (DESIGN.md §14) as JSON: one
+# scheduler tick, watch-broker fanout, and pooled vs dial-per-request
+# list measurement. Compare against the committed BENCH_monitor.json.
+.PHONY: bench-monitor
+bench-monitor:
+	./scripts/bench_json.sh 20x monitor
+
 # Fail when a pinned hot path (ClassifyBytes, SearchBytes,
 # ExtractTitleBytes, the match detectors) allocates in steady state.
 .PHONY: alloc-gate
@@ -108,4 +125,4 @@ alloc-gate:
 	go test -run 'TestZeroAlloc' -count=1 ./internal/match/ ./internal/blockpage/ ./internal/scanner/ ./internal/fingerprint/
 
 .PHONY: ci
-ci: test-gate test race chaos-golden
+ci: test-gate test race chaos-golden monitor-golden

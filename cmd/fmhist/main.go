@@ -10,7 +10,7 @@
 //	fmhist -dir DIR list [-kind K] [-json]
 //	fmhist -dir DIR show SELECTOR [-json]
 //	fmhist -dir DIR diff FROM TO [-json]
-//	fmhist -dir DIR timeline [-json]
+//	fmhist -dir DIR timeline [-kind K] [-json]
 //	fmhist -dir DIR compact
 //
 // record either ingests a JSON document produced by fmscan/fmrepro -json
@@ -96,11 +96,18 @@ func usage() {
 
 subcommands:
   record    persist a pipeline snapshot (-run to execute, -in FILE to ingest)
-  list      list stored snapshots
-  show      print one snapshot (selector: seq, id prefix, latest, latest:<kind>)
+  list      list stored snapshots (-kind K restricts to one kind)
+  show      print one snapshot
   diff      compare two snapshots (fmhist diff FROM TO)
-  timeline  per-country installation counts across identify snapshots
+  timeline  per-country counts across snapshots of one kind (-kind K,
+            default identify; table4, discovery and mechanisms also count)
   compact   rewrite the log, deduplicating repeated content
+
+selectors (show, diff): every snapshot reference accepts
+  N              a decimal sequence number          e.g.  3
+  HEXPREFIX      a content-ID prefix, 4+ hex chars  e.g.  ac06d8
+  latest         the newest snapshot of any kind
+  latest:KIND    the newest snapshot of one kind    e.g.  latest:table4
 `)
 }
 
@@ -307,10 +314,12 @@ func loadPair(s *store.Store, fromSel, toSel string) (from, to longitudinal.Inpu
 func timeline(s *store.Store, args []string) error {
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the timeline document as JSON")
+	kind := fs.String("kind", longitudinal.KindIdentify,
+		"snapshot kind to count: identify, table4, discovery, or mechanisms")
 	fs.Parse(args) //nolint:errcheck
-	metas := s.List(store.Query{Kind: longitudinal.KindIdentify})
+	metas := s.List(store.Query{Kind: *kind})
 	if len(metas) == 0 {
-		return fmt.Errorf("no %q snapshots in store", longitudinal.KindIdentify)
+		return fmt.Errorf("no %q snapshots in store", *kind)
 	}
 	inputs := make([]longitudinal.Input, 0, len(metas))
 	for _, m := range metas {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMainTwoTicks runs the real main for two ticks of the identify
+// plan — flag parsing, monitor construction, churn, scan, rendering.
+func TestMainTwoTicks(t *testing.T) {
+	out := captureStdout(t, func() {
+		os.Args = []string{"fmmonitor", "-ticks", "2", "-plans", "identify", "-summary"}
+		main()
+	})
+	if !strings.Contains(out, "[tick 1]") || !strings.Contains(out, "[tick 2]") {
+		t.Fatalf("fmmonitor output missing tick lines:\n%s", out)
+	}
+	if !strings.Contains(out, "snapshot identify") {
+		t.Fatalf("fmmonitor output missing identify snapshots:\n%s", out)
+	}
+	if !strings.Contains(out, "ticks 2:") {
+		t.Fatalf("fmmonitor output missing the -summary footer:\n%s", out)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

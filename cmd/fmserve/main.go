@@ -9,11 +9,18 @@
 //	fmserve [-addr :8080] [-workers N] [-job-workers N]
 //	        [-cache-ttl 5m] [-cache-entries 256]
 //	        [-rate 0] [-burst 8] [-max-body 1048576] [-store DIR]
+//	        [-monitor] [-monitor-seed N] [-monitor-tick 24h] [-watch-retain N]
 //
 // With -store, snapshot endpoints persist to the same append-only log
 // cmd/fmhist reads: POST /v1/snapshots records a pipeline result,
 // GET /v1/snapshots lists, GET /v1/diff?from=&to= computes churn.
 // Without it the store is memory-backed and dies with the process.
+//
+// -monitor enables the continuous-measurement scheduler: POST
+// /v1/monitor/tick advances it, appending incremental snapshots and
+// streaming longitudinal diff events on GET /v1/watch (SSE with
+// Last-Event-ID resume; ?poll=1 long-poll fallback). /v1/watch serves
+// even without -monitor, carrying API snapshot-append events.
 //
 // Quick start:
 //
@@ -52,6 +59,10 @@ func main() {
 	burst := flag.Int("burst", 8, "per-client burst size")
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
 	storeDir := flag.String("store", "", "snapshot store directory (empty = in-memory, not persisted)")
+	monitorOn := flag.Bool("monitor", false, "enable the continuous-measurement scheduler (POST /v1/monitor/tick)")
+	monitorSeed := flag.Uint64("monitor-seed", 0, "monitor churn/jitter seed (with -monitor)")
+	monitorTick := flag.Duration("monitor-tick", 0, "virtual duration of one monitor tick (with -monitor; 0 = 24h)")
+	watchRetain := flag.Int("watch-retain", 0, "events retained for /v1/watch replay (0 = default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	checkVersion := version.Flag(flag.CommandLine, "fmserve")
 	flag.Parse()
@@ -61,7 +72,7 @@ func main() {
 	if *workers > 0 {
 		engOpts = append(engOpts, filtermap.WithWorkers(*workers))
 	}
-	srv, err := filtermap.NewServer(filtermap.ServeOptions{
+	opts := filtermap.ServeOptions{
 		CacheTTL:        *cacheTTL,
 		CacheEntries:    *cacheEntries,
 		JobWorkers:      *jobWorkers,
@@ -69,7 +80,12 @@ func main() {
 		RateBurst:       *burst,
 		MaxRequestBytes: *maxBody,
 		StoreDir:        *storeDir,
-	}, engOpts...)
+		WatchRetain:     *watchRetain,
+	}
+	if *monitorOn {
+		opts.Monitor = &filtermap.MonitorOptions{Seed: *monitorSeed, Tick: *monitorTick}
+	}
+	srv, err := filtermap.NewServer(opts, engOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,6 +41,7 @@ import (
 	"filtermap/internal/engine"
 	"filtermap/internal/identify"
 	"filtermap/internal/longitudinal"
+	"filtermap/internal/monitor"
 	"filtermap/internal/netsim"
 	"filtermap/internal/report"
 	"filtermap/internal/server"
@@ -222,6 +223,45 @@ type (
 // OpenStore opens (or creates) a snapshot store rooted at dir. An empty
 // dir returns a memory-backed store with no persistence.
 func OpenStore(dir string) (*SnapshotStore, error) { return store.Open(dir) }
+
+// Continuous-measurement layer: the scheduler that re-runs scan plans on
+// virtual intervals against a churning world, appending incremental
+// snapshots and streaming longitudinal events (see cmd/fmmonitor and
+// fmserve's /v1/watch).
+type (
+	// Monitor is the continuous-measurement loop.
+	Monitor = monitor.Monitor
+	// MonitorOptions configures a Monitor.
+	MonitorOptions = monitor.Options
+	// MonitorPlan is one recurring scan in the rotation.
+	MonitorPlan = monitor.Plan
+	// MonitorCounters is the scheduler-counter snapshot.
+	MonitorCounters = monitor.Counters
+	// MonitorEvent is one entry in the monitor's event stream.
+	MonitorEvent = monitor.Event
+	// WatchBroker fans monitor events out to subscribers with a
+	// replayable tail (the /v1/watch backing store).
+	WatchBroker = monitor.Broker
+)
+
+// NewMonitor builds a continuous-measurement loop appending snapshots to
+// st. Drive it with RunTicks; observe it through Broker().
+func NewMonitor(o MonitorOptions, st *SnapshotStore) (*Monitor, error) { return monitor.New(o, st) }
+
+// NewWatchBroker builds an event broker retaining the last retain events
+// for replay (0 = default).
+func NewWatchBroker(retain int) *WatchBroker { return monitor.NewBroker(retain) }
+
+// DefaultMonitorPlans is the standing scan rotation: identify daily, the
+// mechanism survey every other day, a discovery crawl twice a week.
+func DefaultMonitorPlans() []MonitorPlan { return monitor.DefaultPlans() }
+
+// RenderMonitorLog renders a monitor event stream as the one-line-per-
+// event log fmmonitor prints.
+func RenderMonitorLog(events []MonitorEvent) string { return monitor.RenderLog(events) }
+
+// RenderMonitorSummary renders the scheduler counters.
+func RenderMonitorSummary(c MonitorCounters) string { return monitor.RenderSummary(c) }
 
 // NewDiffEngine builds a longitudinal diff engine. Trailing options tune
 // the execution substrate exactly as in NewWorld.

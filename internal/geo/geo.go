@@ -32,11 +32,20 @@ type DB struct {
 	sorted  bool
 }
 
-// Add inserts a prefix→country mapping.
+// Add inserts a prefix→country mapping. Re-adding an identical prefix
+// replaces the old record (last write wins), so overlays can move an
+// address between countries more than once.
 func (db *DB) Add(prefix netip.Prefix, country string) {
+	rec := Record{Prefix: prefix.Masked(), Country: strings.ToUpper(country)}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.records = append(db.records, Record{Prefix: prefix.Masked(), Country: strings.ToUpper(country)})
+	for i := range db.records {
+		if db.records[i].Prefix == rec.Prefix {
+			db.records[i] = rec
+			return
+		}
+	}
+	db.records = append(db.records, rec)
 	db.sorted = false
 }
 
@@ -105,6 +114,16 @@ func (t *ASTable) Add(rec ASRecord) {
 	rec.Country = strings.ToUpper(rec.Country)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Identical prefixes replace (last write wins): two records at the
+	// same length would otherwise tie in the most-specific sort and leave
+	// the winner to sort instability — a re-migrated installation must
+	// resolve to its newest announcement.
+	for i := range t.records {
+		if t.records[i].Prefix == rec.Prefix {
+			t.records[i] = rec
+			return
+		}
+	}
 	t.records = append(t.records, rec)
 	t.sorted = false
 }

@@ -32,9 +32,11 @@ type Proxy struct {
 	Port uint16
 }
 
-// Client issues HTTP/1.1 requests over a Dialer, one connection per
-// request (Connection: close), which matches how scanning and measurement
-// tools behave.
+// Client issues HTTP/1.1 requests over a Dialer. Without a Pool it uses
+// one connection per request (Connection: close), which matches how
+// one-shot scanning tools behave. With a Pool it keeps reusable
+// connections alive between requests, which is how a measurement client
+// re-scanning a URL list from the same vantage behaves.
 type Client struct {
 	Dial Dialer
 	// Timeout bounds a whole request/response exchange. Zero means 30s.
@@ -47,6 +49,12 @@ type Client struct {
 	UserAgent string
 	// MaxRedirects bounds GetFollow. Zero means 10.
 	MaxRedirects int
+	// Pool, if non-nil, enables keep-alive reuse: requests are no longer
+	// forced to Connection: close, and connections left in a known state
+	// after the exchange are parked for the next request to the same
+	// endpoint. A request that finds a stale pooled connection (the peer
+	// closed it while idle) is retried once on a fresh dial.
+	Pool *ConnPool
 }
 
 const defaultTimeout = 30 * time.Second
@@ -65,7 +73,9 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 	if c.UserAgent != "" && !req.Header.Has("User-Agent") {
 		req.Header.Add("User-Agent", c.UserAgent)
 	}
-	req.Header.Set("Connection", "close")
+	if c.Pool == nil {
+		req.Header.Set("Connection", "close")
+	}
 
 	host, port, err := c.targetEndpoint(req)
 	if err != nil {
@@ -82,22 +92,48 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	key := poolKey(host, port)
+	if c.Pool != nil {
+		if conn := c.Pool.get(key); conn != nil {
+			resp, err := c.exchange(ctx, req, conn, key)
+			if err == nil {
+				return resp, nil
+			}
+			// The idle connection went stale while pooled; fall through
+			// to a fresh dial.
+		}
+	}
+
 	conn, err := c.Dial(ctx, host, port)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
+	return c.exchange(ctx, req, conn, key)
+}
+
+// exchange runs one request/response on conn and settles the
+// connection's fate: parked in the pool when the exchange left it
+// reusable, closed otherwise.
+func (c *Client) exchange(ctx context.Context, req *Request, conn net.Conn, key string) (*Response, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl) //nolint:errcheck // best-effort
 	}
-
 	if _, err := req.WriteTo(conn); err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("httpwire: write request: %w", err)
 	}
 	resp, err := ReadResponse(bufio.NewReader(conn), req.Method == "HEAD")
 	if err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("httpwire: read response: %w", err)
 	}
+	if c.Pool != nil && reusable(req, resp) {
+		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort
+		if c.Pool.put(key, conn) {
+			return resp, nil
+		}
+	}
+	conn.Close()
 	return resp, nil
 }
 

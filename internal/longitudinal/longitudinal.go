@@ -515,21 +515,57 @@ func (e *Engine) diffMatrix(ctx context.Context, fromBody, toBody json.RawMessag
 
 // ---- timeline computation ----
 
-// Timeline computes per-country installation counts across identify
-// snapshots, in input order.
+// Timeline computes per-country counts across snapshots, in input
+// order. The counted unit follows the snapshot kind: identify counts
+// installations, table4 counts characterization-matrix rows, discovery
+// counts novel blocked URLs, and mechanisms counts censored URLs —
+// each kind's "how much filtering is visible here" measure.
 func (e *Engine) Timeline(ctx context.Context, inputs []Input) (*Timeline, error) {
 	points, err := engine.Map(ctx, e.Config, StageTimeline, inputs, func(_ context.Context, in Input) (TimelinePoint, error) {
-		if in.Meta.Kind != KindIdentify {
-			return TimelinePoint{}, fmt.Errorf("longitudinal: timeline needs %q snapshots, got %q (seq %d)", KindIdentify, in.Meta.Kind, in.Meta.Seq)
-		}
-		doc, err := decodeIdentify(in.Body)
-		if err != nil {
-			return TimelinePoint{}, err
-		}
 		pt := TimelinePoint{Ref: refOf(in.Meta), ByCountry: map[string]int{}}
-		for _, inst := range doc.Installations {
-			pt.Total++
-			pt.ByCountry[inst.Country]++
+		count := func(country string, n int) {
+			pt.Total += n
+			pt.ByCountry[country] += n
+		}
+		switch in.Meta.Kind {
+		case KindIdentify:
+			doc, err := decodeIdentify(in.Body)
+			if err != nil {
+				return TimelinePoint{}, err
+			}
+			for _, inst := range doc.Installations {
+				count(inst.Country, 1)
+			}
+		case KindTable4:
+			doc, err := decodeTable4(in.Body)
+			if err != nil {
+				return TimelinePoint{}, err
+			}
+			for _, row := range doc.Rows {
+				count(row.Country, 1)
+			}
+		case KindDiscovery:
+			doc, err := decodeDiscovery(in.Body)
+			if err != nil {
+				return TimelinePoint{}, err
+			}
+			for _, t := range doc.Targets {
+				for _, f := range t.Findings {
+					if f.Novel {
+						count(t.Country, 1)
+					}
+				}
+			}
+		case KindMechanisms:
+			doc, err := decodeMechanisms(in.Body)
+			if err != nil {
+				return TimelinePoint{}, err
+			}
+			for _, isp := range doc.Mechanisms {
+				count(isp.Country, isp.Censored)
+			}
+		default:
+			return TimelinePoint{}, fmt.Errorf("longitudinal: timeline cannot count kind %q (seq %d)", in.Meta.Kind, in.Meta.Seq)
 		}
 		return pt, nil
 	})

@@ -221,10 +221,25 @@ func TestTimeline(t *testing.T) {
 			t.Fatalf("timeline Render() missing %q:\n%s", want, text)
 		}
 	}
-	// Non-identify input rejected.
-	bad := table4Input(t, 3, nil)
+	// Non-identify kinds count their own unit: table4 counts matrix rows
+	// per country.
+	t4 := table4Input(t, 3, []report.Table4RowDoc{
+		{Product: "netsweeper", Country: "YE", ASN: 100, Blocked: []string{"ANON"}},
+		{Product: "bluecoat", Country: "SA", ASN: 200, Blocked: []string{"PORN"}},
+		{Product: "websense", Country: "YE", ASN: 300, Blocked: []string{"POLR"}},
+	})
+	tl4, err := New().Timeline(context.Background(), []Input{t4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl4.Points[0].Total != 3 || tl4.Points[0].ByCountry["YE"] != 2 {
+		t.Fatalf("table4 point = %+v, want 3 rows with YE=2", tl4.Points[0])
+	}
+
+	// Unknown kinds still error.
+	bad := Input{Meta: store.Meta{Seq: 4, Kind: "bogus"}, Body: []byte("{}")}
 	if _, err := New().Timeline(context.Background(), []Input{bad}); err == nil {
-		t.Fatal("timeline over table4 snapshot should error")
+		t.Fatal("timeline over unknown kind should error")
 	}
 }
 

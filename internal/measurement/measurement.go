@@ -24,6 +24,7 @@ import (
 	"filtermap/internal/engine"
 	"filtermap/internal/httpwire"
 	"filtermap/internal/netsim"
+	"filtermap/internal/simclock"
 )
 
 // Defaults for the zero-value Client.
@@ -90,6 +91,14 @@ func (v *Vantage) Client(timeout time.Duration) *httpwire.Client {
 		Timeout:   timeout,
 		UserAgent: "oni-measurement-client/2.1",
 	}
+}
+
+// PooledClient is Client with keep-alive reuse: connections left healthy
+// after an exchange are parked in pool for this vantage's next fetch.
+func (v *Vantage) PooledClient(timeout time.Duration, pool *httpwire.ConnPool) *httpwire.Client {
+	c := v.Client(timeout)
+	c.Pool = pool
+	return c
 }
 
 // Fetch is the raw outcome of one vantage's retrieval.
@@ -170,6 +179,31 @@ type Client struct {
 	// Config carries the shared execution knobs (workers, timeout, retry,
 	// stats, observer) for TestList's URL fan-out.
 	Config engine.Config
+	// DisableReuse turns off per-vantage keep-alive connection reuse and
+	// restores the one-connection-per-request behavior. Reuse is safe to
+	// leave on: product gateways close every intercepted connection after
+	// one exchange, so only un-intercepted traffic (lab fetches, direct
+	// origin hits) actually pools, and responses are byte-identical either
+	// way.
+	DisableReuse bool
+
+	// pools holds one keep-alive pool per vantage, created lazily; the
+	// pool is shared by every concurrent worker fetching from that
+	// vantage, which is the whole point — the URL list multiplexes over a
+	// handful of live connections instead of dialing per request.
+	poolMu sync.Mutex
+	pools  map[*Vantage]*vantagePool
+}
+
+// vantagePool pins a keep-alive pool to the virtual instant its idle
+// connections were parked at. Interception is a dial-time decision, so a
+// connection must not sleep across a clock advance and wake up on the
+// other side of a policy window (YemenNet blocks by time of day) — when
+// the clock has moved, the idle set is flushed and fetches re-dial
+// through the interception path.
+type vantagePool struct {
+	pool *httpwire.ConnPool
+	at   time.Time
 }
 
 // NewClient builds a dual-vantage client with functional options, e.g.
@@ -300,8 +334,71 @@ func (c *Client) Repeat(ctx context.Context, urls []string, n int) [][]Result {
 	return out
 }
 
+// poolFor returns the vantage's keep-alive pool, creating it on first
+// use and flushing its idle connections when the virtual clock has
+// advanced since they were parked. Returns nil when reuse is disabled.
+//
+// The flush-on-advance pinning applies only to discrete (Manual) clocks:
+// there a time jump means the simulated world may have changed underneath
+// the parked connections. Under a wall clock time flows on every call, so
+// pinning would flush the pool before any connection could ever be
+// reused.
+func (c *Client) poolFor(v *Vantage) *httpwire.ConnPool {
+	if c.DisableReuse || v == nil || v.Host == nil {
+		return nil
+	}
+	clk := v.Host.Network().Clock()
+	now := clk.Now()
+	_, wall := clk.(simclock.System)
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.pools == nil {
+		c.pools = make(map[*Vantage]*vantagePool)
+	}
+	vp, ok := c.pools[v]
+	if !ok {
+		vp = &vantagePool{pool: httpwire.NewConnPool(0), at: now}
+		c.pools[v] = vp
+	}
+	if !wall && !vp.at.Equal(now) {
+		vp.pool.CloseIdle()
+		vp.at = now
+	}
+	return vp.pool
+}
+
+// CloseIdle drops every pooled idle connection (all vantages). Call
+// between measurement rounds when the world underneath is about to
+// change — e.g. the monitor closes idle connections before applying
+// churn so no fetch rides a connection into a removed host.
+func (c *Client) CloseIdle() {
+	c.poolMu.Lock()
+	pools := make([]*httpwire.ConnPool, 0, len(c.pools))
+	for _, vp := range c.pools {
+		pools = append(pools, vp.pool)
+	}
+	c.poolMu.Unlock()
+	for _, p := range pools {
+		p.CloseIdle()
+	}
+}
+
+// ReuseStats sums connection-reuse counters across every vantage pool:
+// exchanges served by a pooled connection, and connections parked for
+// reuse.
+func (c *Client) ReuseStats() (reused, pooled uint64) {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	for _, vp := range c.pools {
+		r, k := vp.pool.Stats()
+		reused += r
+		pooled += k
+	}
+	return reused, pooled
+}
+
 func (c *Client) fetch(ctx context.Context, v *Vantage, rawurl string) Fetch {
-	client := v.Client(c.timeout())
+	client := v.PooledClient(c.timeout(), c.poolFor(v))
 	if c.MaxRedirects > 0 {
 		client.MaxRedirects = c.MaxRedirects
 	}

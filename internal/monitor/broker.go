@@ -1,0 +1,136 @@
+package monitor
+
+import "sync"
+
+// DefaultRetain is the default number of events the broker keeps for
+// Last-Event-ID replay.
+const DefaultRetain = 1024
+
+// Broker assigns event IDs, retains a bounded tail of the stream for
+// replay, and fans events out to live subscribers. It is the bridge
+// between the single-threaded scheduler and an arbitrary number of
+// /v1/watch streams.
+//
+// Delivery contract: a subscriber receives every event with ID greater
+// than its resume point, in order, as long as it keeps up. A subscriber
+// whose buffer fills is dropped (its channel closed) rather than allowed
+// to stall the publisher; the client reconnects with Last-Event-ID and
+// replays what it missed from the retained tail. Events older than the
+// retention window are gone — a resumer that far behind restarts from
+// the oldest retained event.
+type Broker struct {
+	mu      sync.Mutex
+	retain  int
+	events  []Event // tail of the stream, oldest first
+	nextID  uint64
+	subs    map[int]chan Event
+	nextSub int
+	fanned  uint64 // events delivered to subscriber channels
+	dropped uint64 // subscribers dropped for falling behind
+}
+
+// NewBroker builds a broker retaining the last retain events
+// (<= 0 uses DefaultRetain).
+func NewBroker(retain int) *Broker {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Broker{retain: retain, nextID: 1, subs: make(map[int]chan Event)}
+}
+
+// Publish stamps e with the next ID, retains it, fans it out, and
+// returns the stamped event.
+func (b *Broker) Publish(e Event) Event {
+	b.mu.Lock()
+	e.ID = b.nextID
+	b.nextID++
+	b.events = append(b.events, e)
+	if len(b.events) > b.retain {
+		// Shift rather than reslice so the backing array doesn't grow
+		// without bound over a long-lived monitor.
+		n := copy(b.events, b.events[len(b.events)-b.retain:])
+		b.events = b.events[:n]
+	}
+	for id, ch := range b.subs {
+		select {
+		case ch <- e:
+			b.fanned++
+		default:
+			// Slow consumer: cut it loose; it resumes via Last-Event-ID.
+			delete(b.subs, id)
+			close(ch)
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+	return e
+}
+
+// Since returns retained events with ID > sinceID, oldest first.
+func (b *Broker) Since(sinceID uint64) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sinceLocked(sinceID)
+}
+
+func (b *Broker) sinceLocked(sinceID uint64) []Event {
+	// IDs are dense and ascending, so binary search would work, but the
+	// tail is small (<= retain) and replay is rare.
+	var out []Event
+	for _, e := range b.events {
+		if e.ID > sinceID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a live subscriber resuming after sinceID. It
+// returns the replay backlog (retained events the subscriber missed),
+// the live channel, and a cancel function. Events published between the
+// replay snapshot and the channel registration are in exactly one of
+// the two — the whole operation is atomic under the broker's lock.
+// buf <= 0 uses a 256-event buffer.
+func (b *Broker) Subscribe(sinceID uint64, buf int) ([]Event, <-chan Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	replay := b.sinceLocked(sinceID)
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+		b.mu.Unlock()
+	}
+	return replay, ch, cancel
+}
+
+// LastID returns the most recently published event ID (0 = none yet).
+func (b *Broker) LastID() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextID - 1
+}
+
+// Subscribers returns the live subscriber count.
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Fanout reports events delivered to subscriber channels and subscribers
+// dropped for falling behind.
+func (b *Broker) Fanout() (delivered, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fanned, b.dropped
+}

@@ -1,0 +1,158 @@
+package monitor
+
+import (
+	"fmt"
+
+	"filtermap/internal/world"
+)
+
+// The churn driver scripts the world mutations the longitudinal layer
+// exists to detect. Everything flows from one splitmix64 stream consumed
+// single-threaded at tick boundaries, so the op sequence is a pure
+// function of the seed — worker counts, wall-clock timing and pipeline
+// internals cannot perturb it.
+
+// splitmix64 is the canonical 64-bit mixer (Steele et al.); tiny, fast,
+// and more than random enough to script plausible churn.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *splitmix64) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// churnProducts and churnCountries are the vendor and jurisdiction pools
+// new installations draw from. Products must stay a subset of the
+// world's background-install roster.
+var churnProducts = []string{"bluecoat", "netsweeper", "websense", "smartfilter"}
+
+var churnCountries = []string{"KZ", "UZ", "VN", "EG", "TR", "ID", "NG", "BR"}
+
+// churnBox is one installation the driver has stood up and may later
+// remove, upgrade or migrate.
+type churnBox struct {
+	ip      string
+	product string
+}
+
+// churnDriver owns the scripted mutation state for one monitor run.
+type churnDriver struct {
+	rng   splitmix64
+	live  []churnBox
+	sites int // next fresh /16 index; removed sites are never reused
+}
+
+func newChurnDriver(seed uint64) *churnDriver {
+	// Offset the stream so a zero seed still scripts non-trivial ops.
+	return &churnDriver{rng: splitmix64{s: seed ^ 0x6d6f6e69746f72}} // "monitor"
+}
+
+// site carves the i-th churn address block: 100.(64+i).0.0/16 with the
+// box at .1.1 — inside 100.64.0.0/10 (carrier-grade NAT space), which no
+// seed-world installation occupies, so scripted installs can never
+// collide with the static landscape.
+func site(i int) (cidr, ip string) {
+	return fmt.Sprintf("100.%d.0.0/16", 64+i), fmt.Sprintf("100.%d.1.1", 64+i)
+}
+
+// OpsPerTick is how many scripted mutations apply before each tick.
+const OpsPerTick = 1
+
+// apply scripts and applies one tick's mutations, returning the ops.
+// Op mix: half the draws install a fresh box; the rest retire, upgrade
+// or migrate an existing one (falling back to install while the
+// landscape is still empty).
+func (d *churnDriver) apply(w *world.World) ([]ChurnOp, error) {
+	ops := make([]ChurnOp, 0, OpsPerTick)
+	for i := 0; i < OpsPerTick; i++ {
+		op, err := d.applyOne(w)
+		if err != nil {
+			return ops, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func (d *churnDriver) applyOne(w *world.World) (ChurnOp, error) {
+	roll := d.rng.intn(8)
+	if roll >= 4 && len(d.live) == 0 {
+		roll = 0 // nothing to mutate yet: install
+	}
+	switch {
+	case roll < 4:
+		return d.install(w)
+	case roll < 6:
+		return d.upgrade(w)
+	case roll == 6:
+		return d.migrate(w)
+	default:
+		return d.remove(w)
+	}
+}
+
+func (d *churnDriver) install(w *world.World) (ChurnOp, error) {
+	i := d.sites
+	d.sites++
+	cidr, ip := site(i)
+	product := churnProducts[d.rng.intn(len(churnProducts))]
+	country := churnCountries[d.rng.intn(len(churnCountries))]
+	asn := 65000 + i
+	asName := fmt.Sprintf("%s-NET-%d", country, asn)
+	hostname := fmt.Sprintf("fw%d.%s.example.net", i, asName)
+	op := ChurnOp{Op: "install", IP: ip, Product: product, ASN: asn, ASName: asName, Country: country}
+	if err := w.AddBackgroundInstall(product, asn, asName, country, cidr, ip, hostname); err != nil {
+		return op, fmt.Errorf("monitor: churn install: %w", err)
+	}
+	d.live = append(d.live, churnBox{ip: ip, product: product})
+	return op, nil
+}
+
+func (d *churnDriver) remove(w *world.World) (ChurnOp, error) {
+	i := d.rng.intn(len(d.live))
+	box := d.live[i]
+	d.live = append(d.live[:i], d.live[i+1:]...)
+	op := ChurnOp{Op: "remove", IP: box.ip}
+	if err := w.RemoveInstallation(box.ip); err != nil {
+		return op, fmt.Errorf("monitor: churn remove: %w", err)
+	}
+	return op, nil
+}
+
+func (d *churnDriver) upgrade(w *world.World) (ChurnOp, error) {
+	i := d.rng.intn(len(d.live))
+	box := &d.live[i]
+	// Pick a different vendor; same-product "upgrades" are invisible to
+	// identification and would read as dead events.
+	next := churnProducts[d.rng.intn(len(churnProducts))]
+	for next == box.product {
+		next = churnProducts[d.rng.intn(len(churnProducts))]
+	}
+	op := ChurnOp{Op: "upgrade", IP: box.ip, Product: next, FromProduct: box.product}
+	if err := w.UpgradeInstallation(box.ip, next); err != nil {
+		return op, fmt.Errorf("monitor: churn upgrade: %w", err)
+	}
+	box.product = next
+	return op, nil
+}
+
+func (d *churnDriver) migrate(w *world.World) (ChurnOp, error) {
+	i := d.rng.intn(len(d.live))
+	box := d.live[i]
+	asn := 65400 + d.rng.intn(100)
+	country := churnCountries[d.rng.intn(len(churnCountries))]
+	asName := fmt.Sprintf("%s-NET-%d", country, asn)
+	op := ChurnOp{Op: "migrate", IP: box.ip, ASN: asn, ASName: asName, Country: country}
+	if err := w.MigrateInstallation(box.ip, asn, asName, country); err != nil {
+		return op, fmt.Errorf("monitor: churn migrate: %w", err)
+	}
+	return op, nil
+}

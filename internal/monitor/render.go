@@ -1,0 +1,26 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderLog renders events as the fmmonitor text log, one line per
+// event. The rendering is part of the determinism contract: the golden
+// test pins it byte-for-byte across worker counts.
+func RenderLog(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "[tick %d] %s %s\n", e.Tick, e.At.UTC().Format(time.RFC3339), e.Summary())
+	}
+	return b.String()
+}
+
+// RenderSummary renders the closing counter block.
+func RenderSummary(c Counters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ticks %d: %d plan runs (%d skipped overlap), %d snapshots appended, %d deduped, %d churn ops\n",
+		c.Ticks, c.PlanRuns, c.SkippedOverlap, c.SnapshotsAppended, c.SnapshotsDeduped, c.ChurnOps)
+	return b.String()
+}

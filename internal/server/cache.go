@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strings"
 	"sync"
 	"time"
 )
@@ -68,6 +69,26 @@ func (c *resultCache) evictOldestLocked() {
 	if oldestKey != "" {
 		delete(c.entries, oldestKey)
 	}
+}
+
+// invalidatePrefix drops every entry whose key starts with prefix and
+// returns how many were dropped. Appending a newer snapshot for a
+// (kind, config) calls this so cached reports for that pair die
+// immediately instead of serving stale results until the TTL runs out.
+func (c *resultCache) invalidatePrefix(prefix string) int {
+	if c.ttl < 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k := range c.entries {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
 }
 
 func (c *resultCache) len() int {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"filtermap/internal/engine"
+	"filtermap/internal/monitor"
 )
 
 // metrics aggregates everything GET /metrics reports: per-endpoint
@@ -28,6 +29,7 @@ type metrics struct {
 	snapshots        uint64
 	snapshotsDeduped uint64
 	diffs            uint64
+	invalidated      uint64
 
 	// engineStats and engineEvents are installed into every world's
 	// engine config, so pipeline stages report here across runs.
@@ -92,6 +94,17 @@ func (m *metrics) snapshotRecorded(deduped bool) {
 // only; cached diffs count as cache hits).
 func (m *metrics) diffComputed() { m.mu.Lock(); m.diffs++; m.mu.Unlock() }
 
+// cacheInvalidated accounts result-cache entries dropped because a newer
+// snapshot superseded them (delta-aware invalidation).
+func (m *metrics) cacheInvalidated(n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.invalidated += uint64(n)
+	m.mu.Unlock()
+}
+
 // run accounts one underlying pipeline execution of the given kind.
 func (m *metrics) run(kind string) {
 	m.mu.Lock()
@@ -109,18 +122,33 @@ func (m *metrics) runDegraded(kind string) {
 
 // MetricsDoc is the GET /metrics response body.
 type MetricsDoc struct {
-	UptimeSeconds float64                       `json:"uptime_seconds"`
-	Endpoints     map[string]EndpointDoc        `json:"endpoints"`
-	Cache         CacheDoc                      `json:"cache"`
-	Jobs          JobCountsDoc                  `json:"jobs"`
-	Runs          map[string]uint64             `json:"runs"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointDoc `json:"endpoints"`
+	Cache         CacheDoc               `json:"cache"`
+	Jobs          JobCountsDoc           `json:"jobs"`
+	Runs          map[string]uint64      `json:"runs"`
 	// RunsDegraded counts runs that completed with partial results,
 	// per kind (omitted while empty).
-	RunsDegraded map[string]uint64 `json:"runs_degraded,omitempty"`
-	RateLimited   uint64                        `json:"rate_limited"`
-	Snapshots     SnapshotCountsDoc             `json:"snapshots"`
-	Engine        engine.Snapshot               `json:"engine"`
-	EngineEvents  map[string]engine.EventCounts `json:"engine_events"`
+	RunsDegraded map[string]uint64             `json:"runs_degraded,omitempty"`
+	RateLimited  uint64                        `json:"rate_limited"`
+	Snapshots    SnapshotCountsDoc             `json:"snapshots"`
+	Engine       engine.Snapshot               `json:"engine"`
+	EngineEvents map[string]engine.EventCounts `json:"engine_events"`
+	// Monitor carries the continuous-measurement scheduler counters
+	// (omitted when the monitor is disabled).
+	Monitor *monitor.Counters `json:"monitor,omitempty"`
+	// Watch is the /v1/watch fan-out census.
+	Watch WatchDoc `json:"watch"`
+}
+
+// WatchDoc is the event-stream fan-out census: live subscribers, events
+// delivered to subscriber channels, subscribers dropped for falling
+// behind, and the newest event ID.
+type WatchDoc struct {
+	Subscribers int    `json:"subscribers"`
+	Delivered   uint64 `json:"events_delivered"`
+	Dropped     uint64 `json:"subscribers_dropped"`
+	LastEventID uint64 `json:"last_event_id"`
 }
 
 // EndpointDoc is one route's counters.
@@ -139,6 +167,9 @@ type CacheDoc struct {
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 	Entries   int    `json:"entries"`
+	// Invalidated counts entries dropped because a newer snapshot for
+	// their (kind, config) superseded them before the TTL ran out.
+	Invalidated uint64 `json:"invalidated"`
 }
 
 // SnapshotCountsDoc is the longitudinal layer's counters: snapshot
@@ -166,10 +197,11 @@ func (m *metrics) snapshot(now time.Time, cacheEntries int, jobs JobCountsDoc, s
 		UptimeSeconds: now.Sub(m.startedAt).Seconds(),
 		Endpoints:     make(map[string]EndpointDoc, len(m.endpoints)),
 		Cache: CacheDoc{
-			Hits:      m.hits,
-			Misses:    m.misses,
-			Coalesced: m.coalesced,
-			Entries:   cacheEntries,
+			Hits:        m.hits,
+			Misses:      m.misses,
+			Coalesced:   m.coalesced,
+			Entries:     cacheEntries,
+			Invalidated: m.invalidated,
 		},
 		Jobs:        jobs,
 		Runs:        make(map[string]uint64, len(m.runs)),

@@ -44,6 +44,7 @@ import (
 	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
 	"filtermap/internal/longitudinal"
+	"filtermap/internal/monitor"
 	"filtermap/internal/report"
 	"filtermap/internal/scanner"
 	"filtermap/internal/store"
@@ -84,6 +85,13 @@ type Options struct {
 	// StoreDir roots the longitudinal snapshot store ("" = in-memory:
 	// snapshots work but do not survive the process).
 	StoreDir string
+	// Monitor enables the continuous-measurement scheduler (nil =
+	// disabled; /v1/watch still serves, streaming snapshot-append events
+	// from the API surface). The monitor drives its own world; its Broker
+	// and Store fields are overwritten with the server's.
+	Monitor *monitor.Options
+	// WatchRetain bounds the /v1/watch replay tail (0 = broker default).
+	WatchRetain int
 
 	// now substitutes the clock in tests (nil = time.Now).
 	now func() time.Time
@@ -107,6 +115,9 @@ type Server struct {
 
 	snaps   *store.Store
 	diffEng *longitudinal.Engine
+
+	broker *monitor.Broker
+	mon    *monitor.Monitor
 
 	// execHook intercepts pipeline executions in tests (nil in
 	// production).
@@ -162,6 +173,36 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	}
 	s.diffEng = &longitudinal.Engine{Config: engine.NewConfig(s.engOpts...)}
 
+	// Delta-aware invalidation: a snapshot append for a (kind, config)
+	// pair kills cached reports for that pair immediately instead of
+	// letting them ride out the TTL. Diff cache entries are
+	// content-addressed and never go stale, so they stay.
+	s.broker = monitor.NewBroker(opts.WatchRetain)
+	s.snaps.OnAppend(func(meta store.Meta) {
+		pk, ok := pipelineKindFor(meta.Kind)
+		if !ok {
+			return
+		}
+		s.metrics.cacheInvalidated(s.cache.invalidatePrefix(pk + ":" + meta.Config + ":"))
+	})
+
+	if opts.Monitor != nil {
+		mo := *opts.Monitor
+		mo.Broker = s.broker
+		if mo.World == (world.Options{}) {
+			mo.World = opts.World
+		}
+		if len(mo.Engine) == 0 {
+			mo.Engine = s.engOpts
+		}
+		s.mon, err = monitor.New(mo, s.snaps)
+		if err != nil {
+			s.snaps.Close() //nolint:errcheck // constructor teardown
+			base.Close()
+			return nil, fmt.Errorf("server: build monitor: %w", err)
+		}
+	}
+
 	s.jobs = newJobManager(opts.JobWorkers, opts.now, func(ctx context.Context, j *job) ([]byte, error) {
 		return s.cachedRun(ctx, j.kind, j.key, j.req)
 	})
@@ -184,6 +225,9 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	handle("GET /v1/snapshots", s.handleSnapshotList)
 	handle("GET /v1/snapshots/{id}", s.handleSnapshotGet)
 	handle("GET /v1/diff", s.handleDiff)
+	handle("GET /v1/watch", s.handleWatch)
+	handle("GET /v1/monitor", s.handleMonitorStatus)
+	handle("POST /v1/monitor/tick", s.handleMonitorTick)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	s.handler = s.root(mux)
@@ -202,6 +246,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.jobs.shutdown(ctx)
 	s.closeOnce.Do(func() {
+		if s.mon != nil {
+			s.mon.Close()
+		}
 		s.base.Close()
 		if serr := s.snaps.Close(); serr != nil && err == nil {
 			err = serr
@@ -258,6 +305,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards streaming flushes so /v1/watch can serve SSE through
+// the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // ---- request types ----
@@ -1025,6 +1080,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc := s.metrics.snapshot(s.opts.now(), s.cache.len(), s.jobs.counts(), s.snaps.Count())
+	if s.mon != nil {
+		c := s.mon.Counters()
+		doc.Monitor = &c
+	}
+	delivered, dropped := s.broker.Fanout()
+	doc.Watch = WatchDoc{
+		Subscribers: s.broker.Subscribers(),
+		Delivered:   delivered,
+		Dropped:     dropped,
+		LastEventID: s.broker.LastID(),
+	}
 	writeJSON(w, http.StatusOK, doc)
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"filtermap/internal/longitudinal"
+	"filtermap/internal/monitor"
 	"filtermap/internal/store"
 )
 
@@ -49,6 +50,23 @@ func storeKindFor(kind string) (string, error) {
 	}
 }
 
+// pipelineKindFor is storeKindFor's inverse: the pipeline kind whose
+// cached reports a snapshot of the given store kind supersedes.
+func pipelineKindFor(storeKind string) (string, bool) {
+	switch storeKind {
+	case longitudinal.KindIdentify:
+		return KindIdentify, true
+	case longitudinal.KindTable4:
+		return KindCharacterize, true
+	case longitudinal.KindDiscovery:
+		return KindDiscover, true
+	case longitudinal.KindMechanisms:
+		return KindMechanisms, true
+	default:
+		return "", false
+	}
+}
+
 // handleSnapshotRecord runs the requested pipeline (through the result
 // cache) and appends its document to the snapshot store, keyed by the
 // base world's virtual time and the effective world-config hash. Identical
@@ -69,7 +87,8 @@ func (s *Server) handleSnapshotRecord(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, errorStatus(err), err.Error())
 		return
 	}
-	val, err := s.cachedRun(r.Context(), body.Kind, s.requestKey(body.Kind, req), req)
+	key := s.requestKey(body.Kind, req)
+	val, err := s.cachedRun(r.Context(), body.Kind, key, req)
 	if err != nil {
 		jsonError(w, errorStatus(err), err.Error())
 		return
@@ -86,6 +105,19 @@ func (s *Server) handleSnapshotRecord(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.snapshotRecorded(meta.Deduped)
+	// The append's invalidation hook just dropped every cached report for
+	// this (kind, config) — including the one whose bytes we appended.
+	// That entry still matches the newest snapshot, so restore it: repeat
+	// recordings stay cache hits instead of re-running the pipeline.
+	s.cache.put(key, val)
+	// Mirror the append onto the watch stream so subscribers see
+	// API-recorded snapshots alongside monitor ticks.
+	s.broker.Publish(monitor.Event{
+		At: s.base.Clock.Now(), Type: monitor.EventSnapshot,
+		Plan: "api", Kind: storeKind,
+		Seq: meta.Seq, SnapshotID: meta.ID, Deduped: meta.Deduped,
+		Note: body.Note,
+	})
 	status := http.StatusCreated
 	if meta.Deduped {
 		status = http.StatusOK

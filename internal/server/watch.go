@@ -1,0 +1,249 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"filtermap/internal/monitor"
+)
+
+// This file is the streaming surface over the monitor's event broker:
+//
+//	GET  /v1/watch         SSE stream of monitor events (Last-Event-ID
+//	                       resume; ?poll=1 long-poll fallback)
+//	GET  /v1/monitor       scheduler status
+//	POST /v1/monitor/tick  advance the continuous-measurement loop
+//
+// The SSE contract: every event frame carries `id: <n>` with the
+// broker's monotonic event ID. A client that reconnects with the
+// standard Last-Event-ID header (or ?since=<n>) replays everything it
+// missed from the broker's retained tail before going live — the resume
+// semantics DESIGN.md §14 pins down.
+
+// resumePoint extracts the client's resume position: the Last-Event-ID
+// header (standard SSE reconnect) wins over the ?since query parameter.
+func resumePoint(r *http.Request) uint64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("since")
+	}
+	if raw == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	since := resumePoint(r)
+	if r.URL.Query().Get("poll") == "1" {
+		s.watchPoll(w, r, since)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		// The transport cannot stream: degrade to the long-poll shape.
+		s.watchPoll(w, r, since)
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("retry: 1000\n\n")) //nolint:errcheck // client gone = ctx done
+	fl.Flush()
+
+	// Subscribe atomically replays the missed tail and registers for
+	// live events, so nothing published in between is lost or doubled.
+	replay, ch, cancel := s.broker.Subscribe(since, 256)
+	defer cancel()
+	for i := range replay {
+		if !writeSSE(w, &replay[i]) {
+			return
+		}
+	}
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				// Dropped for falling behind; the client reconnects with
+				// Last-Event-ID and replays.
+				return
+			}
+			if !writeSSE(w, &e) {
+				return
+			}
+			fl.Flush()
+		case <-keepalive.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE writes one event frame; false means the client went away.
+func writeSSE(w http.ResponseWriter, e *monitor.Event) bool {
+	frame, err := e.MarshalSSE()
+	if err != nil {
+		return false
+	}
+	_, err = w.Write(frame)
+	return err == nil
+}
+
+// watchPollDoc is the long-poll response body.
+type watchPollDoc struct {
+	LastEventID uint64          `json:"last_event_id"`
+	Events      []monitor.Event `json:"events"`
+}
+
+// watchPoll is the long-poll fallback: return events after the resume
+// point immediately when any exist; otherwise, with ?timeout_ms=N, wait
+// up to that long for the next event before returning an empty batch.
+func (s *Server) watchPoll(w http.ResponseWriter, r *http.Request, since uint64) {
+	events := s.broker.Since(since)
+	if len(events) == 0 {
+		if ms, err := strconv.Atoi(r.URL.Query().Get("timeout_ms")); err == nil && ms > 0 {
+			if ms > 60_000 {
+				ms = 60_000
+			}
+			replay, ch, cancel := s.broker.Subscribe(since, 64)
+			defer cancel()
+			events = replay
+			if len(events) == 0 {
+				timer := time.NewTimer(time.Duration(ms) * time.Millisecond)
+				defer timer.Stop()
+				select {
+				case e, open := <-ch:
+					if open {
+						events = append(events, e)
+						// Batch whatever else already arrived.
+						for {
+							select {
+							case e, open := <-ch:
+								if open {
+									events = append(events, e)
+									continue
+								}
+							default:
+							}
+							break
+						}
+					}
+				case <-timer.C:
+				case <-r.Context().Done():
+				}
+			}
+		}
+	}
+	// LastEventID echoes the client's next resume point: the newest event
+	// delivered, or the unchanged resume point when the batch is empty.
+	doc := watchPollDoc{LastEventID: since, Events: events}
+	if n := len(events); n > 0 {
+		doc.LastEventID = events[n-1].ID
+	}
+	if doc.Events == nil {
+		doc.Events = []monitor.Event{}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// ---- monitor control ----
+
+// monitorPlanDoc renders one scan plan for status responses.
+type monitorPlanDoc struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Every     string `json:"every"`
+	JitterPct int    `json:"jitter_pct,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Budget    int    `json:"budget,omitempty"`
+}
+
+// monitorStatusDoc is the GET /v1/monitor response body.
+type monitorStatusDoc struct {
+	Enabled     bool              `json:"enabled"`
+	Ticks       int               `json:"ticks,omitempty"`
+	ConfigHash  string            `json:"config_hash,omitempty"`
+	Plans       []monitorPlanDoc  `json:"plans,omitempty"`
+	Counters    *monitor.Counters `json:"counters,omitempty"`
+	LastEventID uint64            `json:"last_event_id"`
+}
+
+func (s *Server) handleMonitorStatus(w http.ResponseWriter, r *http.Request) {
+	doc := monitorStatusDoc{LastEventID: s.broker.LastID()}
+	if s.mon != nil {
+		doc.Enabled = true
+		doc.Ticks = s.mon.TickCount()
+		doc.ConfigHash = s.mon.ConfigHash()
+		c := s.mon.Counters()
+		doc.Counters = &c
+		for _, p := range s.mon.Plans() {
+			doc.Plans = append(doc.Plans, monitorPlanDoc{
+				Name: p.Name, Kind: p.Kind, Every: p.Every.String(),
+				JitterPct: p.JitterPct, Rounds: p.Rounds, Budget: p.Budget,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// monitorTickRequest is the POST /v1/monitor/tick body.
+type monitorTickRequest struct {
+	Ticks int `json:"ticks,omitempty"`
+}
+
+// monitorTickDoc is its response.
+type monitorTickDoc struct {
+	Ticks       int              `json:"ticks"`
+	Events      int              `json:"events"`
+	LastEventID uint64           `json:"last_event_id"`
+	Counters    monitor.Counters `json:"counters"`
+}
+
+func (s *Server) handleMonitorTick(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		jsonError(w, http.StatusNotFound, "monitor disabled; start fmserve with -monitor")
+		return
+	}
+	var req monitorTickRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Ticks <= 0 {
+		req.Ticks = 1
+	}
+	if req.Ticks > 64 {
+		jsonError(w, http.StatusBadRequest, "ticks capped at 64 per request")
+		return
+	}
+	events, err := s.mon.TryRunTicks(r.Context(), req.Ticks)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if err == monitor.ErrBusy {
+			status = http.StatusConflict
+		}
+		jsonError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, monitorTickDoc{
+		Ticks:       req.Ticks,
+		Events:      len(events),
+		LastEventID: s.broker.LastID(),
+		Counters:    s.mon.Counters(),
+	})
+}

@@ -63,6 +63,34 @@ func (w *World) RemoveInstallation(ip string) error {
 	return nil
 }
 
+// UpgradeInstallation swaps the product mounted at ip for newProduct in
+// place: the host is torn down (listeners closed, DNS withdrawn) and
+// stood back up at the same address, hostname and ISP with the new
+// product's network faces. The next identification run sees the old
+// product vanish and the new one appear on the same box — a vendor
+// change, the transition "Where The Light Gets In" caught ISPs making
+// between measurement rounds.
+func (w *World) UpgradeInstallation(ip, newProduct string) error {
+	if !backgroundProducts[newProduct] {
+		return fmt.Errorf("world: unknown background product %q", newProduct)
+	}
+	addr, err := netip.ParseAddr(ip)
+	if err != nil {
+		return fmt.Errorf("world: upgrade installation: %w", err)
+	}
+	host, ok := w.Net.Host(addr)
+	if !ok {
+		return fmt.Errorf("world: upgrade installation: no host at %s", ip)
+	}
+	name, isp := host.Name(), host.ISP()
+	w.Net.RemoveHost(addr)
+	fresh, err := w.Net.AddHost(addr, name, isp)
+	if err != nil {
+		return fmt.Errorf("world: upgrade installation: %w", err)
+	}
+	return w.installBackgroundProduct(newProduct, fresh)
+}
+
 // MigrateInstallation re-announces the host at ip from a different AS
 // (and optionally country) by overlaying a /32 record in the whois table
 // and geolocation DB — most-specific-prefix matching makes the overlay

@@ -15,6 +15,10 @@
 # The mechanisms suite covers the per-probe mechanism costs (DESIGN.md
 # §13): DNS answer parsing, ClientHello classification, quirk signature
 # matching, and the netsim-backed RST/DNS probe round trips.
+#
+# The monitor suite covers the continuous-measurement loop (DESIGN.md
+# §14): one full scheduler tick, watch-broker fanout, and the
+# connection-reuse win of pooled list measurement over dial-per-request.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -55,8 +59,16 @@ mechanisms)
 		run ./internal/measurement/ '^BenchmarkMechanismProbes$'
 	)
 	;;
+monitor)
+	COMMENT="continuous-measurement loop: scheduler tick, watch fanout, pooled vs dial-per-request list measurement (DESIGN.md §14)"
+	out=$(
+		run ./internal/monitor/ '^BenchmarkMonitorTick$'
+		run ./internal/monitor/ '^BenchmarkWatchFanout$'
+		run ./internal/measurement/ '^BenchmarkListReuse$'
+	)
+	;;
 *)
-	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms)" >&2
+	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms, monitor)" >&2
 	exit 2
 	;;
 esac
