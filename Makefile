@@ -59,6 +59,16 @@ mech-golden:
 monitor-golden:
 	go test -race -run 'TestGoldenMonitor|TestWatchSSEResume|TestWatchInvalidatesCache' -count=1 .
 
+# The distributed scan-out determinism check: identify, mechanisms and
+# discovery documents from a coordinator with four remote HTTP workers
+# must be byte-identical to the standalone server's, with worker-crash
+# lease expiry + reassignment, graceful drain, and replication-log
+# followers exercised under the race detector (DESIGN.md §15).
+.PHONY: cluster-golden
+cluster-golden:
+	go test -race -run 'TestGoldenClusterScanOut|TestClusterWorker|TestClusterReplication' -count=1 .
+	go test -race -run 'TestClusterByteIdentity' -count=1 ./internal/server/
+
 # Short deterministic fuzzing of every wire-facing parser: each target
 # runs its seed corpus plus a few seconds of mutation. A real fuzzing
 # session replaces -fuzztime with minutes or hours.
@@ -118,6 +128,13 @@ bench-mechanisms:
 bench-monitor:
 	./scripts/bench_json.sh 20x monitor
 
+# The cluster fan-out benchmarks (DESIGN.md §15) as JSON: the mechanism
+# survey through coordinator + 1/2/4 local workers, showing the shard
+# fan-out speedup. Compare against the committed BENCH_cluster.json.
+.PHONY: bench-cluster
+bench-cluster:
+	./scripts/bench_json.sh 10x cluster
+
 # Fail when a pinned hot path (ClassifyBytes, SearchBytes,
 # ExtractTitleBytes, the match detectors) allocates in steady state.
 .PHONY: alloc-gate
@@ -125,4 +142,4 @@ alloc-gate:
 	go test -run 'TestZeroAlloc' -count=1 ./internal/match/ ./internal/blockpage/ ./internal/scanner/ ./internal/fingerprint/
 
 .PHONY: ci
-ci: test-gate test race chaos-golden monitor-golden
+ci: test-gate test race chaos-golden monitor-golden cluster-golden

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"filtermap"
+)
+
+// TestMainIdlePollAndDrain runs the real main against a live coordinator
+// with no queued work: flag parsing, the HTTP lease path (empty grants),
+// the -run-for deadline, and the graceful drain messages.
+func TestMainIdlePollAndDrain(t *testing.T) {
+	srv, err := filtermap.NewServer(filtermap.ServeOptions{
+		Cluster: &filtermap.ClusterOptions{Role: filtermap.RoleCoordinator},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Shutdown(context.Background()) //nolint:errcheck // test teardown
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	out := captureStdout(t, func() {
+		os.Args = []string{
+			"fmworker", "-coordinator", ts.URL, "-id", "smoke-worker",
+			"-poll", "10ms", "-run-for", "100ms", "-drain", "5s",
+		}
+		main()
+	})
+	for _, want := range []string{
+		"fmworker smoke-worker leasing from " + ts.URL,
+		"fmworker smoke-worker draining",
+		"fmworker smoke-worker stopped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fmworker output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r) //nolint:errcheck // read side of our own pipe
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = orig
+	return <-done
+}

@@ -36,6 +36,7 @@ package filtermap
 
 import (
 	"filtermap/internal/characterize"
+	"filtermap/internal/cluster"
 	"filtermap/internal/confirm"
 	"filtermap/internal/discovery"
 	"filtermap/internal/engine"
@@ -182,6 +183,42 @@ type ServeOptions = server.Options
 //	http.ListenAndServe(":8080", srv)
 func NewServer(opts ServeOptions, engOpts ...Option) (*Server, error) {
 	return server.New(opts, engOpts...)
+}
+
+// Distributed scan-out layer: the coordinator/worker cluster that shards
+// pipeline runs across machines (see cmd/fmworker and fmserve -role).
+type (
+	// ClusterOptions enables coordinator-mode scan-out on a Server
+	// (ServeOptions.Cluster).
+	ClusterOptions = server.ClusterOptions
+	// ClusterWorker is one scan-out worker: it leases shards from a
+	// coordinator, runs them against its own world replica, and ships
+	// document fragments back.
+	ClusterWorker = cluster.Worker
+	// ClusterCounters is the coordinator's shard/lease/steal census.
+	ClusterCounters = cluster.Counters
+	// ClusterStatus is the GET /v1/cluster document.
+	ClusterStatus = cluster.StatusDoc
+	// ReplicaFollower tails a coordinator's replication log into a local
+	// snapshot store (ServeOptions.Follow wires one into a Server).
+	ReplicaFollower = cluster.Follower
+)
+
+// Cluster roles accepted by ClusterOptions.Role and fmserve -role.
+const (
+	RoleCoordinator = server.RoleCoordinator
+	RoleBoth        = server.RoleBoth
+)
+
+// NewClusterWorker builds a worker that pulls shard leases from the
+// coordinator at baseURL (an fmserve running -role coordinator|both)
+// over HTTP. Drive it with Run; stop it gracefully with Drain. Trailing
+// options tune the worker's engine exactly as in NewWorld:
+//
+//	w := filtermap.NewClusterWorker("worker-1", "http://coord:8080", filtermap.WithWorkers(8))
+//	go w.Run(ctx)
+func NewClusterWorker(id, baseURL string, engOpts ...Option) *ClusterWorker {
+	return cluster.NewWorker(id, &cluster.HTTPTransport{BaseURL: baseURL}, engOpts...)
 }
 
 // Machine-readable document types: the JSON counterparts of the text

@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/report"
+	"filtermap/internal/world"
+)
+
+// fakeClock is a hand-advanced clock for lease-expiry tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// ---- ring ----
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	r1 := newRing(members)
+	r2 := newRing([]string{"c", "a", "b"}) // order must not matter
+	keys := []string{"mechanisms/Etisalat", "identify/Netsweeper", "discover/YemenNet", "characterize/Du"}
+	for _, k := range keys {
+		if r1.owner(k) != r2.owner(k) {
+			t.Fatalf("ring ownership depends on member order for %q: %q vs %q", k, r1.owner(k), r2.owner(k))
+		}
+	}
+	if got := newRing(nil).owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+// TestRingStability checks the consistent-hashing property: removing one
+// member only moves the keys that member owned.
+func TestRingStability(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4"}
+	full := newRing(members)
+	without := newRing([]string{"w1", "w2", "w3"})
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := "identify/product-" + strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		before, after := full.owner(key), without.owner(key)
+		if before == "w4" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member changed owner", moved)
+	}
+}
+
+// ---- split ----
+
+func TestSplitIdentifyPerProduct(t *testing.T) {
+	specs, err := Split(Request{Kind: KindIdentify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for p := range fingerprint.ShodanKeywords() {
+		want = append(want, p)
+	}
+	sort.Strings(want)
+	if len(specs) != len(want) {
+		t.Fatalf("identify shards = %d, want %d", len(specs), len(want))
+	}
+	for i, spec := range specs {
+		if len(spec.Pieces) != 1 || spec.Pieces[0] != want[i] {
+			t.Fatalf("shard %d pieces = %v, want [%s]", i, spec.Pieces, want[i])
+		}
+	}
+}
+
+func TestSplitISPOrderAndFilter(t *testing.T) {
+	roster := world.MechanismRosterISPs()
+	if len(roster) < 2 {
+		t.Skip("roster too small to exercise filtering")
+	}
+	specs, err := Split(Request{Kind: KindMechanisms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(roster) {
+		t.Fatalf("mechanisms shards = %d, want %d", len(specs), len(roster))
+	}
+	// Request ISPs out of roster order: shard order must stay canonical.
+	reversed := []string{roster[len(roster)-1], roster[0]}
+	specs, err = Split(Request{Kind: KindMechanisms, ISPs: reversed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Pieces[0] != roster[0] || specs[1].Pieces[0] != roster[len(roster)-1] {
+		t.Fatalf("filtered shards not in roster order: %+v", specs)
+	}
+	if _, err := Split(Request{Kind: "confirm"}); err == nil {
+		t.Fatal("Split(confirm) should fail: the confirmation timeline is not shardable")
+	}
+}
+
+// ---- coordinator lease state machine ----
+
+// startJob submits a mechanisms job and waits until its shards are
+// leasable, returning the result channel.
+func startJob(t *testing.T, c *Coordinator) (<-chan any, <-chan error) {
+	t.Helper()
+	docs := make(chan any, 1)
+	errs := make(chan error, 1)
+	go func() {
+		doc, err := c.Run(context.Background(), Request{Kind: KindMechanisms})
+		docs <- doc
+		errs <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Status()
+		if len(st.Jobs) > 0 && st.Jobs[0].State == "running" {
+			return docs, errs
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never became leasable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fragFor fabricates a deterministic mechanisms fragment for a lease.
+func fragFor(l ShardLease) *Fragment {
+	return &Fragment{
+		Pieces:     l.Spec.Pieces,
+		Mechanisms: []report.MechanismISPDoc{{ISP: l.Spec.Pieces[0], Tested: 1}},
+	}
+}
+
+func TestLeaseExpiryAndReassignment(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewCoordinator(Options{LeaseTTL: time.Second, Now: clk.Now})
+	docs, errs := startJob(t, c)
+
+	n := len(world.MechanismRosterISPs())
+	leasesA := c.Lease("worker-a", n+5)
+	if len(leasesA) != n {
+		t.Fatalf("worker-a leased %d shards, want %d", len(leasesA), n)
+	}
+	// Nothing more to grant while the leases are live.
+	if extra := c.Lease("worker-b", n); len(extra) != 0 {
+		t.Fatalf("worker-b got %d leases while worker-a's are live", len(extra))
+	}
+
+	// worker-a goes silent past the TTL: worker-b takes over everything.
+	clk.Advance(2 * time.Second)
+	leasesB := c.Lease("worker-b", n+5)
+	if len(leasesB) != n {
+		t.Fatalf("worker-b reassigned %d shards after expiry, want %d", len(leasesB), n)
+	}
+	if got := c.Counters().LeasesExpired; got != uint64(n) {
+		t.Fatalf("LeasesExpired = %d, want %d", got, n)
+	}
+
+	// worker-a's heartbeat now reports every lease invalid.
+	refsA := make([]LeaseRef, len(leasesA))
+	for i, l := range leasesA {
+		refsA[i] = l.Ref
+	}
+	for i, ok := range c.Heartbeat("worker-a", refsA) {
+		if ok {
+			t.Fatalf("expired lease %d still reported valid", i)
+		}
+	}
+
+	// A late success from worker-a's superseded lease is still accepted:
+	// shard results are deterministic, first delivery wins.
+	resp := c.Result("worker-a", leasesA[0].Ref, fragFor(leasesA[0]), "")
+	if !resp.Accepted || resp.Stale {
+		t.Fatalf("late deterministic success rejected: %+v", resp)
+	}
+	// worker-b delivering the same shard afterwards is stale.
+	if resp := c.Result("worker-b", leasesB[0].Ref, fragFor(leasesB[0]), ""); !resp.Stale {
+		t.Fatalf("duplicate shard delivery not stale: %+v", resp)
+	}
+
+	// worker-b finishes the rest; the job merges in shard order.
+	for _, l := range leasesB[1:] {
+		c.Result("worker-b", l.Ref, fragFor(l), "")
+	}
+	doc := (<-docs).(report.MechanismsDoc)
+	if err := <-errs; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(doc.Mechanisms) != n {
+		t.Fatalf("merged %d ISP entries, want %d", len(doc.Mechanisms), n)
+	}
+	for i, isp := range world.MechanismRosterISPs() {
+		if doc.Mechanisms[i].ISP != isp {
+			t.Fatalf("merged entry %d = %s, want %s (shard order lost)", i, doc.Mechanisms[i].ISP, isp)
+		}
+	}
+	ctr := c.Counters()
+	if ctr.JobsDone != 1 || ctr.ShardsDone != uint64(n) {
+		t.Fatalf("counters after completion: %+v", ctr)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewCoordinator(Options{LeaseTTL: time.Second, Now: clk.Now})
+	docs, errs := startJob(t, c)
+
+	leases := c.Lease("worker-a", 100)
+	refs := make([]LeaseRef, len(leases))
+	for i, l := range leases {
+		refs[i] = l.Ref
+	}
+	// Renew at 0.8 TTL, then check at 1.5 TTL: still inside the renewed
+	// window, so nothing is reassignable.
+	clk.Advance(800 * time.Millisecond)
+	for i, ok := range c.Heartbeat("worker-a", refs) {
+		if !ok {
+			t.Fatalf("live lease %d reported invalid", i)
+		}
+	}
+	clk.Advance(700 * time.Millisecond)
+	if stolen := c.Lease("worker-b", 100); len(stolen) != 0 {
+		t.Fatalf("heartbeat did not extend leases: %d reassigned", len(stolen))
+	}
+	// Wrong epoch never validates.
+	bad := refs[0]
+	bad.Epoch += 7
+	if ok := c.Heartbeat("worker-a", []LeaseRef{bad})[0]; ok {
+		t.Fatal("heartbeat validated a wrong-epoch ref")
+	}
+	for _, l := range leases {
+		c.Result("worker-a", l.Ref, fragFor(l), "")
+	}
+	<-docs
+	if err := <-errs; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestReleaseReturnsShardsImmediately(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewCoordinator(Options{LeaseTTL: time.Hour, Now: clk.Now})
+	docs, errs := startJob(t, c)
+
+	leases := c.Lease("worker-a", 100)
+	refs := make([]LeaseRef, len(leases))
+	for i, l := range leases {
+		refs[i] = l.Ref
+	}
+	c.Release("worker-a", refs)
+	if got := c.Counters().LeasesReleased; got != uint64(len(leases)) {
+		t.Fatalf("LeasesReleased = %d, want %d", got, len(leases))
+	}
+	// No clock advance needed: the shards are pending again.
+	handoff := c.Lease("worker-b", 100)
+	if len(handoff) != len(leases) {
+		t.Fatalf("worker-b picked up %d released shards, want %d", len(handoff), len(leases))
+	}
+	for _, l := range handoff {
+		c.Result("worker-b", l.Ref, fragFor(l), "")
+	}
+	<-docs
+	if err := <-errs; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestShardFailureBudget(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewCoordinator(Options{LeaseTTL: time.Hour, MaxAttempts: 2, Now: clk.Now})
+	docs, errs := startJob(t, c)
+
+	for attempt := 0; attempt < 2; attempt++ {
+		leases := c.Lease("worker-a", 1)
+		if len(leases) != 1 {
+			t.Fatalf("attempt %d: leased %d shards, want 1", attempt, len(leases))
+		}
+		c.Result("worker-a", leases[0].Ref, nil, "probe blew up")
+	}
+	<-docs
+	err := <-errs
+	if err == nil || !strings.Contains(err.Error(), "failed 2 times") {
+		t.Fatalf("job error = %v, want shard-failure budget exhaustion", err)
+	}
+	ctr := c.Counters()
+	if ctr.ShardsRetried != 2 || ctr.JobsFailed != 1 {
+		t.Fatalf("counters after failure: %+v", ctr)
+	}
+}
+
+func TestRunAbortsOnContextCancel(t *testing.T) {
+	c := NewCoordinator(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx, Request{Kind: KindMechanisms}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under canceled ctx = %v, want context.Canceled", err)
+	}
+	// The aborted job must not be leasable.
+	if leases := c.Lease("worker-a", 100); len(leases) != 0 {
+		t.Fatalf("aborted job still granted %d leases", len(leases))
+	}
+}
+
+// ---- merge ----
+
+func TestMergeIdentifyExactness(t *testing.T) {
+	// Two product shards sharing a candidate and an installation: the
+	// union must count the host once, keep byte-identical installations
+	// deduped, and sort numerically (10.0.0.9 before 10.0.0.70).
+	shared := report.InstallationDoc{IP: "10.0.0.9", Products: []string{"Netsweeper", "Websense"}, Country: "YE"}
+	fragA := &Fragment{
+		Pieces:        []string{"Netsweeper"},
+		Candidates:    map[string][]string{"Netsweeper": {"10.0.0.9", "10.0.0.70"}},
+		Installations: []report.InstallationDoc{{IP: "10.0.0.70", Products: []string{"Netsweeper"}, Country: "QA"}, shared},
+		StageErrors:   []report.StageErrorDoc{{Stage: "whois", Target: "10.0.0.9", Error: "timeout"}},
+	}
+	fragB := &Fragment{
+		Pieces:        []string{"Websense"},
+		Candidates:    map[string][]string{"Websense": {"10.0.0.9", "10.0.0.200"}},
+		Installations: []report.InstallationDoc{shared},
+		StageErrors:   []report.StageErrorDoc{{Stage: "whois", Target: "10.0.0.9", Error: "timeout"}},
+	}
+	got, err := Merge(Request{Kind: KindIdentify}, []*Fragment{fragA, fragB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := got.(report.IdentifyDoc)
+
+	if doc.CandidateCount != 3 {
+		t.Fatalf("CandidateCount = %d, want 3 (distinct-IP union)", doc.CandidateCount)
+	}
+	if doc.ValidatedCount != 2 || len(doc.Installations) != 2 {
+		t.Fatalf("ValidatedCount = %d (installs %d), want 2 deduped", doc.ValidatedCount, len(doc.Installations))
+	}
+	if doc.Installations[0].IP != "10.0.0.9" || doc.Installations[1].IP != "10.0.0.70" {
+		t.Fatalf("installations not in numeric address order: %s, %s", doc.Installations[0].IP, doc.Installations[1].IP)
+	}
+	if len(doc.StageErrors) != 1 {
+		t.Fatalf("stage errors not deduped by (stage, target): %+v", doc.StageErrors)
+	}
+	if want := (3.0 - 2.0) / 3.0; doc.FalsePositiveRate != want {
+		t.Fatalf("FalsePositiveRate = %v, want %v", doc.FalsePositiveRate, want)
+	}
+	wantCountries := map[string][]string{"Netsweeper": {"QA", "YE"}, "Websense": {"YE"}}
+	if !reflect.DeepEqual(doc.ProductCountries, wantCountries) {
+		t.Fatalf("ProductCountries = %v, want %v", doc.ProductCountries, wantCountries)
+	}
+	if !doc.Degraded {
+		t.Fatal("stage errors must mark the merged doc degraded")
+	}
+
+	if _, err := Merge(Request{Kind: KindIdentify}, []*Fragment{fragA, nil}); err == nil {
+		t.Fatal("Merge must reject a missing fragment")
+	}
+}
+
+// ---- worker loop against a live coordinator ----
+
+// TestWorkerDrainReleasesLease checks the graceful-drain contract at the
+// transport level: a worker draining between lease and execution hands
+// the shard back, and another worker completes the job.
+func TestWorkerDrainReleasesLease(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Hour})
+	docs, errs := startJob(t, c)
+
+	// Manually walk one worker through "drain arrived after leasing".
+	leases := c.Lease("drainer", 1)
+	if len(leases) != 1 {
+		t.Fatalf("leased %d, want 1", len(leases))
+	}
+	w := NewWorker("drainer", LocalTransport{Coord: c})
+	w.Drain()
+	// Run notices draining before executing anything and returns nil;
+	// the lease it never took stays with the coordinator until released.
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("draining Run = %v, want nil", err)
+	}
+	c.Release("drainer", []LeaseRef{leases[0].Ref})
+
+	rest := c.Lease("finisher", 100)
+	if len(rest) != len(world.MechanismRosterISPs()) {
+		t.Fatalf("finisher leased %d shards, want the whole job back", len(rest))
+	}
+	for _, l := range rest {
+		c.Result("finisher", l.Ref, fragFor(l), "")
+	}
+	<-docs
+	if err := <-errs; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"filtermap/internal/engine"
+	"filtermap/internal/fingerprint"
+	"filtermap/internal/report"
+	"filtermap/internal/scanner"
+	"filtermap/internal/store"
+	"filtermap/internal/world"
+)
+
+// Runner executes shard specs against local world replicas. It mirrors
+// the server's single-process clock positioning exactly — that is the
+// byte-identity contract:
+//
+//   - identify runs against a long-lived replica at the world epoch with
+//     a once-scanned banner index (the server's base world + shared
+//     index), cached per world-config hash across shards.
+//   - characterize and discover run on a fresh world advanced 8 virtual
+//     hours (the Yemen license window activation the CLIs use).
+//   - mechanisms runs on a fresh world at the epoch.
+type Runner struct {
+	engOpts []engine.Option
+
+	mu       sync.Mutex
+	replicas map[string]*identifyReplica
+	closed   bool
+}
+
+// identifyReplica is one cached (world, banner index) pair for identify
+// shards, keyed by world-config hash.
+type identifyReplica struct {
+	once  sync.Once
+	world *world.World
+	index *scanner.Index
+	err   error
+}
+
+// NewRunner builds a runner. Engine options tune every world it builds.
+func NewRunner(engOpts ...engine.Option) *Runner {
+	return &Runner{
+		engOpts:  engOpts,
+		replicas: make(map[string]*identifyReplica),
+	}
+}
+
+// Close releases the cached identify replicas. The runner is unusable
+// afterwards.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, rep := range r.replicas {
+		if rep.world != nil {
+			rep.world.Close()
+		}
+	}
+	r.replicas = nil
+}
+
+// RunShard executes one shard and returns its fragment.
+func (r *Runner) RunShard(ctx context.Context, spec ShardSpec) (*Fragment, error) {
+	switch spec.Kind {
+	case KindIdentify:
+		return r.runIdentify(ctx, spec)
+	case KindCharacterize:
+		return r.runCharacterize(ctx, spec)
+	case KindDiscover:
+		return r.runDiscover(ctx, spec)
+	case KindMechanisms:
+		return r.runMechanisms(ctx, spec)
+	default:
+		return nil, fmt.Errorf("cluster: unknown shard kind %q", spec.Kind)
+	}
+}
+
+// replica returns the cached identify world + index for the spec's world
+// options, scanning once on first use.
+func (r *Runner) replica(ctx context.Context, opts world.Options) (*world.World, *scanner.Index, error) {
+	key := store.ConfigHash(opts)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("cluster: runner closed")
+	}
+	rep, ok := r.replicas[key]
+	if !ok {
+		rep = &identifyReplica{}
+		r.replicas[key] = rep
+	}
+	r.mu.Unlock()
+
+	rep.once.Do(func() {
+		w, err := world.Build(opts, r.engOpts...)
+		if err != nil {
+			rep.err = fmt.Errorf("cluster: build identify replica: %w", err)
+			return
+		}
+		idx, err := w.Scanner().ScanNetwork(ctx)
+		if err != nil {
+			w.Close()
+			rep.err = fmt.Errorf("cluster: replica scan: %w", err)
+			return
+		}
+		rep.world, rep.index = w, idx
+	})
+	if rep.err != nil {
+		return nil, nil, rep.err
+	}
+	return rep.world, rep.index, nil
+}
+
+func (r *Runner) runIdentify(ctx context.Context, spec ShardSpec) (*Fragment, error) {
+	w, idx, err := r.replica(ctx, spec.World)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.IdentifyPipeline(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	all := fingerprint.ShodanKeywords()
+	kw := make(map[string][]string, len(spec.Pieces))
+	for _, prod := range spec.Pieces {
+		kw[prod] = all[prod]
+	}
+	p.Keywords = kw
+	if len(spec.Countries) > 0 {
+		p.Countries = spec.Countries
+	}
+	rep, err := p.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	doc := report.IdentifyJSON(rep)
+	frag := &Fragment{
+		Pieces:        spec.Pieces,
+		Installations: doc.Installations,
+		QueryErrors:   doc.QueryErrors,
+		StageErrors:   doc.StageErrors,
+	}
+	if len(rep.CandidatesByProduct) > 0 {
+		frag.Candidates = make(map[string][]string, len(rep.CandidatesByProduct))
+		for product, addrs := range rep.CandidatesByProduct {
+			strs := make([]string, len(addrs))
+			for i, a := range addrs {
+				strs[i] = a.String()
+			}
+			frag.Candidates[product] = strs
+		}
+	}
+	return frag, nil
+}
+
+func (r *Runner) runCharacterize(ctx context.Context, spec ShardSpec) (*Fragment, error) {
+	w, err := world.Build(spec.World, r.engOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	w.Clock.Advance(8 * time.Hour)
+	reports, err := w.RunCharacterizationFor(ctx, spec.Pieces)
+	if err != nil {
+		return nil, err
+	}
+	doc := report.Table4JSON(reports)
+	return &Fragment{Pieces: spec.Pieces, Table4Rows: doc.Rows, Reports: doc.Reports}, nil
+}
+
+func (r *Runner) runDiscover(ctx context.Context, spec ShardSpec) (*Fragment, error) {
+	w, err := world.Build(spec.World, r.engOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	w.Clock.Advance(8 * time.Hour)
+	targets, err := w.RunDiscovery(ctx, world.DiscoveryOptions{
+		ISPs:   spec.Pieces,
+		Rounds: spec.Rounds,
+		Budget: spec.Budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rts := make([]report.DiscoveryTarget, 0, len(targets))
+	for _, t := range targets {
+		rts = append(rts, report.DiscoveryTarget{Country: t.Country, ISP: t.ISP, ASN: t.ASN, Report: t.Report})
+	}
+	doc := report.DiscoveryJSON(spec.Rounds, spec.Budget, rts, world.DiscoveredList(targets))
+	return &Fragment{Pieces: spec.Pieces, Discovery: doc.Targets}, nil
+}
+
+func (r *Runner) runMechanisms(ctx context.Context, spec ShardSpec) (*Fragment, error) {
+	w, err := world.Build(spec.World, r.engOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	targets, err := w.RunMechanismSurveyFor(ctx, spec.Pieces)
+	if err != nil {
+		return nil, err
+	}
+	rts := make([]report.MechanismTarget, 0, len(targets))
+	for _, t := range targets {
+		rts = append(rts, report.MechanismTarget{Country: t.Country, ISP: t.ISP, ASN: t.ASN, Results: t.Results})
+	}
+	doc := report.MechanismsJSON(rts)
+	return &Fragment{Pieces: spec.Pieces, Mechanisms: doc.Mechanisms}, nil
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"filtermap/internal/cluster"
+)
+
+// clusterTestOptions enables coordinator+local-worker mode tuned for
+// test latency.
+func clusterTestOptions(workers int) Options {
+	return Options{Cluster: &ClusterOptions{
+		Role:         RoleBoth,
+		LocalWorkers: workers,
+		WorkerPoll:   2 * time.Millisecond,
+	}}
+}
+
+// postBody posts to url and returns the raw response body.
+func postBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp := doJSON(t, http.MethodPost, url, nil, nil)
+	wantStatus(t, resp, http.StatusOK)
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return b
+}
+
+// TestClusterDisabled checks the protocol surface without cluster mode:
+// worker endpoints 409, the status doc reports disabled, and the
+// replication log still serves (any fmserve can be a log source).
+func TestClusterDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/cluster/lease", cluster.LeaseRequest{Worker: "w"}, nil)
+	wantStatus(t, resp, http.StatusConflict)
+
+	var status cluster.StatusDoc
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/cluster", nil, &status)
+	wantStatus(t, resp, http.StatusOK)
+	if status.Enabled {
+		t.Fatal("status.Enabled = true on a standalone server")
+	}
+
+	var logResp cluster.LogResponse
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/cluster/log", nil, &logResp)
+	wantStatus(t, resp, http.StatusOK)
+}
+
+// TestClusterByteIdentity is the core determinism contract: every
+// shardable kind served by a coordinator+workers cluster must be
+// byte-identical to the standalone single-process answer.
+func TestClusterByteIdentity(t *testing.T) {
+	_, plain := newTestServer(t, Options{})
+	_, clustered := newTestServer(t, clusterTestOptions(2))
+
+	for _, kind := range []string{"identify", "mechanisms", "discover", "characterize"} {
+		path := "/v1/" + kind + "?wait=1"
+		want := postBody(t, plain.URL+path)
+		got := postBody(t, clustered.URL+path)
+		if string(got) != string(want) {
+			t.Errorf("%s: clustered body differs from single-process\nclustered: %.300s\nsingle:    %.300s", kind, got, want)
+		}
+	}
+}
+
+// TestClusterStatusMetricsAndLog exercises the observability surface
+// after real clustered runs: /v1/cluster counters, the /metrics cluster
+// section, and the replication-log tail fed by OnComplete appends.
+func TestClusterStatusMetricsAndLog(t *testing.T) {
+	_, ts := newTestServer(t, clusterTestOptions(2))
+
+	postBody(t, ts.URL+"/v1/mechanisms?wait=1")
+
+	var status cluster.StatusDoc
+	resp := doJSON(t, http.MethodGet, ts.URL+"/v1/cluster", nil, &status)
+	wantStatus(t, resp, http.StatusOK)
+	if !status.Enabled || status.Role != RoleBoth {
+		t.Fatalf("status = %+v, want enabled role=both", status)
+	}
+	if len(status.Workers) == 0 {
+		t.Fatal("status lists no workers after a clustered run")
+	}
+	if status.Counters.JobsDone == 0 || status.Counters.ShardsDone == 0 || status.Counters.LeasesGranted == 0 {
+		t.Fatalf("counters untouched after a clustered run: %+v", status.Counters)
+	}
+
+	var metrics MetricsDoc
+	resp = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &metrics)
+	wantStatus(t, resp, http.StatusOK)
+	if metrics.Cluster == nil {
+		t.Fatal("/metrics omits the cluster section in cluster mode")
+	}
+	if metrics.Cluster.Role != RoleBoth || metrics.Cluster.Counters.ShardsDone == 0 {
+		t.Fatalf("/metrics cluster section = %+v", metrics.Cluster)
+	}
+
+	// The completed run appended to the store — the replication log.
+	var logResp cluster.LogResponse
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/cluster/log", nil, &logResp)
+	wantStatus(t, resp, http.StatusOK)
+	if len(logResp.Records) == 0 || logResp.LastSeq == 0 {
+		t.Fatalf("replication log empty after a clustered run: %+v", logResp)
+	}
+	if logResp.Records[0].Meta.Note != "cluster" {
+		t.Fatalf("log record note = %q, want cluster", logResp.Records[0].Meta.Note)
+	}
+
+	// Tailing from the end returns nothing new.
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/cluster/log?after="+
+		strconv.FormatUint(logResp.LastSeq, 10), nil, &logResp)
+	wantStatus(t, resp, http.StatusOK)
+	if len(logResp.Records) != 0 {
+		t.Fatalf("tail past LastSeq returned %d records", len(logResp.Records))
+	}
+}
+
+// TestClusterLeaseValidation checks the protocol endpoints reject
+// malformed requests.
+func TestClusterLeaseValidation(t *testing.T) {
+	_, ts := newTestServer(t, clusterTestOptions(1))
+
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/cluster/lease", cluster.LeaseRequest{}, nil)
+	wantStatus(t, resp, http.StatusBadRequest)
+
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/cluster/result",
+		cluster.ResultRequest{Worker: "w"}, nil)
+	wantStatus(t, resp, http.StatusBadRequest)
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"filtermap/internal/cluster"
 	"filtermap/internal/engine"
 	"filtermap/internal/monitor"
 )
@@ -139,6 +140,20 @@ type MetricsDoc struct {
 	Monitor *monitor.Counters `json:"monitor,omitempty"`
 	// Watch is the /v1/watch fan-out census.
 	Watch WatchDoc `json:"watch"`
+	// Cluster carries the coordinator's shard/lease/steal counters
+	// (omitted when cluster mode is off).
+	Cluster *ClusterMetricsDoc `json:"cluster,omitempty"`
+	// Replica carries the replication-log follower's census (omitted
+	// unless this server tails a coordinator's log).
+	Replica *cluster.FollowerCounters `json:"replica,omitempty"`
+}
+
+// ClusterMetricsDoc is the coordinator's /metrics entry.
+type ClusterMetricsDoc struct {
+	Role string `json:"role"`
+	// Workers counts live ring members.
+	Workers  int              `json:"workers"`
+	Counters cluster.Counters `json:"counters"`
 }
 
 // WatchDoc is the event-stream fan-out census: live subscribers, events

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"filtermap/internal/cluster"
 	"filtermap/internal/confirm"
 	"filtermap/internal/engine"
 	"filtermap/internal/fingerprint"
@@ -92,6 +93,17 @@ type Options struct {
 	Monitor *monitor.Options
 	// WatchRetain bounds the /v1/watch replay tail (0 = broker default).
 	WatchRetain int
+	// Cluster enables coordinator-mode scan-out: shardable pipeline
+	// requests (identify/characterize/discover/mechanisms) fan out to
+	// workers over /v1/cluster/* instead of running in-process (nil =
+	// single-process execution).
+	Cluster *ClusterOptions
+	// Follow makes this server a read-only serving replica: it tails the
+	// named coordinator's replication log (GET /v1/cluster/log) into its
+	// own snapshot store. The replica must take no local snapshot writes.
+	Follow string
+	// FollowInterval paces the log polling (0 = 2s; with Follow).
+	FollowInterval time.Duration
 
 	// now substitutes the clock in tests (nil = time.Now).
 	now func() time.Time
@@ -118,6 +130,11 @@ type Server struct {
 
 	broker *monitor.Broker
 	mon    *monitor.Monitor
+
+	clusterRt    *clusterRuntime
+	follower     *cluster.Follower
+	followCancel context.CancelFunc
+	followWg     sync.WaitGroup
 
 	// execHook intercepts pipeline executions in tests (nil in
 	// production).
@@ -203,6 +220,32 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 		}
 	}
 
+	if opts.Cluster != nil {
+		s.startCluster(*opts.Cluster)
+	}
+	if opts.Follow != "" {
+		s.follower = &cluster.Follower{
+			URL:      opts.Follow,
+			Store:    s.snaps,
+			Interval: opts.FollowInterval,
+			OnApply: func(meta store.Meta) {
+				s.broker.Publish(monitor.Event{
+					At: meta.At, Type: monitor.EventSnapshot,
+					Plan: "replica", Kind: meta.Kind,
+					Seq: meta.Seq, SnapshotID: meta.ID,
+					Note: meta.Note,
+				})
+			},
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.followCancel = cancel
+		s.followWg.Add(1)
+		go func() {
+			defer s.followWg.Done()
+			s.follower.Run(ctx) //nolint:errcheck // exits on cancel
+		}()
+	}
+
 	s.jobs = newJobManager(opts.JobWorkers, opts.now, func(ctx context.Context, j *job) ([]byte, error) {
 		return s.cachedRun(ctx, j.kind, j.key, j.req)
 	})
@@ -228,6 +271,12 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	handle("GET /v1/watch", s.handleWatch)
 	handle("GET /v1/monitor", s.handleMonitorStatus)
 	handle("POST /v1/monitor/tick", s.handleMonitorTick)
+	handle("POST /v1/cluster/lease", s.handleClusterLease)
+	handle("POST /v1/cluster/result", s.handleClusterResult)
+	handle("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	handle("POST /v1/cluster/release", s.handleClusterRelease)
+	handle("GET /v1/cluster", s.handleClusterStatus)
+	handle("GET /v1/cluster/log", s.handleClusterLog)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	s.handler = s.root(mux)
@@ -246,6 +295,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.jobs.shutdown(ctx)
 	s.closeOnce.Do(func() {
+		if s.followCancel != nil {
+			s.followCancel()
+			s.followWg.Wait()
+		}
+		s.clusterRt.stop()
 		if s.mon != nil {
 			s.mon.Close()
 		}
@@ -257,11 +311,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// root is the outermost middleware: rate limiting (healthz exempt) and
-// the request-size cap.
+// root is the outermost middleware: rate limiting (healthz and the
+// cluster worker/replica protocol exempt) and the request-size cap.
 func (s *Server) root(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/healthz" && !s.limiter.allow(clientKey(r)) {
+		if r.URL.Path != "/healthz" && !clusterPath(r.URL.Path) && !s.limiter.allow(clientKey(r)) {
 			s.metrics.rateLimited()
 			w.Header().Set("Retry-After", "1")
 			jsonError(w, http.StatusTooManyRequests, "rate limit exceeded")
@@ -566,6 +620,18 @@ func (s *Server) execute(ctx context.Context, kind string, req any) ([]byte, err
 	s.metrics.run(kind)
 	var doc any
 	var err error
+	if s.clusterRt != nil {
+		if creq, ok := s.clusterRequest(kind, req); ok {
+			doc, err = s.clusterRt.coord.Run(ctx, creq)
+			if err != nil {
+				return nil, err
+			}
+			if docDegraded(doc) {
+				s.metrics.runDegraded(kind)
+			}
+			return json.Marshal(doc)
+		}
+	}
 	switch kind {
 	case KindIdentify:
 		doc, err = s.runIdentify(ctx, req.(*IdentifyRequest))
@@ -1083,6 +1149,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.mon != nil {
 		c := s.mon.Counters()
 		doc.Monitor = &c
+	}
+	if s.clusterRt != nil {
+		status := s.clusterRt.coord.Status()
+		doc.Cluster = &ClusterMetricsDoc{
+			Role:     s.clusterRt.role,
+			Workers:  len(status.Workers),
+			Counters: status.Counters,
+		}
+	}
+	if s.follower != nil {
+		c := s.follower.Counters()
+		doc.Replica = &c
 	}
 	delivered, dropped := s.broker.Fanout()
 	doc.Watch = WatchDoc{

@@ -877,6 +877,46 @@ func (s *Store) List(q Query) []Meta {
 	return out
 }
 
+// LastSeq returns the newest record's sequence number (0 when empty).
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.recs) == 0 {
+		return 0
+	}
+	return s.recs[len(s.recs)-1].meta.Seq
+}
+
+// TailRecord is one record of a TailAfter read: metadata plus the
+// canonical body.
+type TailRecord struct {
+	Meta Meta            `json:"meta"`
+	Body json.RawMessage `json:"body"`
+}
+
+// TailAfter returns up to limit records with sequence numbers strictly
+// greater than after, in sequence order, bodies included — the
+// replication-log read path (limit <= 0 means no limit).
+func (s *Store) TailAfter(after uint64, limit int) ([]TailRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TailRecord
+	for _, r := range s.recs {
+		if r.meta.Seq <= after {
+			continue
+		}
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		body, err := s.readBodyLocked(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TailRecord{Meta: r.meta, Body: body})
+	}
+	return out, nil
+}
+
 // Latest returns the newest snapshot of (kind, config); config "" means
 // any config.
 func (s *Store) Latest(kind, config string) (Meta, bool) {

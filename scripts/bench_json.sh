@@ -19,6 +19,10 @@
 # The monitor suite covers the continuous-measurement loop (DESIGN.md
 # §14): one full scheduler tick, watch-broker fanout, and the
 # connection-reuse win of pooled list measurement over dial-per-request.
+#
+# The cluster suite covers distributed scan-out (DESIGN.md §15): the
+# mechanism survey through a coordinator with 1, 2 and 4 local workers,
+# showing the shard fan-out speedup.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -67,8 +71,14 @@ monitor)
 		run ./internal/measurement/ '^BenchmarkListReuse$'
 	)
 	;;
+cluster)
+	COMMENT="distributed scan-out: mechanism survey via coordinator + 1/2/4 single-thread workers; speedup tracks available cores (DESIGN.md §15)"
+	out=$(
+		run ./internal/cluster/ '^BenchmarkClusterFanout$'
+	)
+	;;
 *)
-	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms, monitor)" >&2
+	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms, monitor, cluster)" >&2
 	exit 2
 	;;
 esac
