@@ -45,10 +45,11 @@ func startServer(t *testing.T, opts filtermap.ServeOptions) *httptest.Server {
 }
 
 // startHTTPWorker runs a cluster worker against the coordinator URL and
-// stops it with the test.
-func startHTTPWorker(t *testing.T, id, coordURL string) *filtermap.ClusterWorker {
+// stops it with the test. token authenticates against a token-protected
+// coordinator ("" = open).
+func startHTTPWorker(t *testing.T, id, coordURL, token string) *filtermap.ClusterWorker {
 	t.Helper()
-	w := filtermap.NewClusterWorker(id, coordURL)
+	w := filtermap.NewClusterWorkerWithToken(id, coordURL, token)
 	w.Poll = 10 * time.Millisecond
 	w.HeartbeatEvery = 50 * time.Millisecond
 	ctx, cancel := context.WithCancel(context.Background())
@@ -123,14 +124,17 @@ func clusterStatus(t *testing.T, coordURL string) filtermap.ClusterStatus {
 
 // TestGoldenClusterScanOut is the headline acceptance golden: identify,
 // mechanisms and discovery documents produced by a coordinator with four
-// remote HTTP workers are byte-identical to the standalone server's.
+// remote HTTP workers are byte-identical to the standalone server's. The
+// coordinator is token-protected, so the golden also covers the
+// authenticated worker path end to end.
 func TestGoldenClusterScanOut(t *testing.T) {
 	plain := startServer(t, filtermap.ServeOptions{})
 	coord := startServer(t, filtermap.ServeOptions{
-		Cluster: &filtermap.ClusterOptions{Role: filtermap.RoleCoordinator},
+		Cluster:      &filtermap.ClusterOptions{Role: filtermap.RoleCoordinator},
+		ClusterToken: "golden-secret",
 	})
 	for i := 0; i < 4; i++ {
-		startHTTPWorker(t, "golden-"+string(rune('a'+i)), coord.URL)
+		startHTTPWorker(t, "golden-"+string(rune('a'+i)), coord.URL, "golden-secret")
 	}
 
 	for _, kind := range []string{"identify", "mechanisms", "discover"} {
@@ -242,7 +246,7 @@ func TestClusterWorkerCrashReassignment(t *testing.T) {
 	}
 
 	// A healthy worker joins; the job must complete anyway.
-	startHTTPWorker(t, "rescuer", coord.URL)
+	startHTTPWorker(t, "rescuer", coord.URL, "")
 
 	select {
 	case res := <-got:
@@ -297,7 +301,7 @@ func TestClusterWorkerDrain(t *testing.T) {
 		t.Fatal("drained worker never returned from Run")
 	}
 
-	startHTTPWorker(t, "relief", coord.URL)
+	startHTTPWorker(t, "relief", coord.URL, "")
 	select {
 	case res := <-got:
 		if res.err != nil {

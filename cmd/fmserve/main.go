@@ -11,7 +11,7 @@
 //	        [-rate 0] [-burst 8] [-max-body 1048576] [-store DIR]
 //	        [-monitor] [-monitor-seed N] [-monitor-tick 24h] [-watch-retain N]
 //	        [-role coordinator|worker|both] [-coordinator URL] [-worker-id ID]
-//	        [-cluster-workers N] [-lease-ttl 10s]
+//	        [-cluster-workers N] [-lease-ttl 10s] [-cluster-token SECRET]
 //	        [-follow URL] [-follow-interval 2s]
 //
 // With -store, snapshot endpoints persist to the same append-only log
@@ -84,6 +84,7 @@ func main() {
 	workerID := flag.String("worker-id", "", "worker id on the ring (with -role worker; default worker-<pid>)")
 	clusterWorkers := flag.Int("cluster-workers", 1, "in-process workers (with -role both)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL before reassignment (with -role coordinator|both)")
+	clusterToken := flag.String("cluster-token", "", "shared secret protecting /v1/cluster/*; workers and followers must send it (empty = open)")
 	follow := flag.String("follow", "", "replicate: tail this coordinator's /v1/cluster/log into the local store")
 	followInterval := flag.Duration("follow-interval", 0, "replication poll interval (with -follow; 0 = 2s)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	if *role == "worker" {
-		runWorker(*coordinator, *workerID, *drain, engOpts)
+		runWorker(*coordinator, *workerID, *clusterToken, *drain, engOpts)
 		return
 	}
 	opts := filtermap.ServeOptions{
@@ -109,6 +110,7 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		StoreDir:        *storeDir,
 		WatchRetain:     *watchRetain,
+		ClusterToken:    *clusterToken,
 	}
 	if *monitorOn {
 		opts.Monitor = &filtermap.MonitorOptions{Seed: *monitorSeed, Tick: *monitorTick}
@@ -162,14 +164,14 @@ func main() {
 // runWorker is the -role worker path: no HTTP server, just the lease
 // loop against -coordinator, with the same graceful-drain contract as
 // cmd/fmworker.
-func runWorker(coordinator, id string, drain time.Duration, engOpts []filtermap.Option) {
+func runWorker(coordinator, id, token string, drain time.Duration, engOpts []filtermap.Option) {
 	if coordinator == "" {
 		log.Fatal("fmserve: -role worker requires -coordinator URL")
 	}
 	if id == "" {
 		id = fmt.Sprintf("worker-%d", os.Getpid())
 	}
-	w := filtermap.NewClusterWorker(id, coordinator, engOpts...)
+	w := filtermap.NewClusterWorkerWithToken(id, coordinator, token, engOpts...)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

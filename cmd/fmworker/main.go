@@ -7,8 +7,9 @@
 //
 // Usage:
 //
-//	fmworker -coordinator http://host:8080 [-id worker-1] [-workers N]
-//	         [-poll 100ms] [-heartbeat 2s] [-run-for 0] [-drain 30s]
+//	fmworker -coordinator http://host:8080 [-id worker-1] [-token SECRET]
+//	         [-workers N] [-poll 100ms] [-heartbeat 2s] [-run-for 0]
+//	         [-drain 30s]
 //
 // The worker exits gracefully on SIGINT/SIGTERM: it finishes (or hands
 // back) its current leases so the coordinator reassigns them without
@@ -33,6 +34,7 @@ import (
 func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL (an fmserve running -role coordinator|both); required")
 	id := flag.String("id", "", "worker id on the ring (default worker-<pid>)")
+	token := flag.String("token", "", "shared cluster token (required when the coordinator runs -cluster-token)")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = engine default)")
 	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = 100ms)")
 	heartbeat := flag.Duration("heartbeat", 0, "lease-renewal interval; keep well under the coordinator's lease TTL (0 = 2s)")
@@ -55,7 +57,7 @@ func main() {
 	if *workers > 0 {
 		engOpts = append(engOpts, filtermap.WithWorkers(*workers))
 	}
-	w := filtermap.NewClusterWorker(*id, *coordinator, engOpts...)
+	w := filtermap.NewClusterWorkerWithToken(*id, *coordinator, *token, engOpts...)
 	w.Poll = *poll
 	w.HeartbeatEvery = *heartbeat
 

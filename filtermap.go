@@ -202,6 +202,9 @@ type (
 	// ReplicaFollower tails a coordinator's replication log into a local
 	// snapshot store (ServeOptions.Follow wires one into a Server).
 	ReplicaFollower = cluster.Follower
+	// ClusterTransport is the HTTP client side of the /v1/cluster
+	// protocol; set Token when the coordinator requires one.
+	ClusterTransport = cluster.HTTPTransport
 )
 
 // Cluster roles accepted by ClusterOptions.Role and fmserve -role.
@@ -218,7 +221,14 @@ const (
 //	w := filtermap.NewClusterWorker("worker-1", "http://coord:8080", filtermap.WithWorkers(8))
 //	go w.Run(ctx)
 func NewClusterWorker(id, baseURL string, engOpts ...Option) *ClusterWorker {
-	return cluster.NewWorker(id, &cluster.HTTPTransport{BaseURL: baseURL}, engOpts...)
+	return NewClusterWorkerWithToken(id, baseURL, "", engOpts...)
+}
+
+// NewClusterWorkerWithToken is NewClusterWorker carrying the shared
+// cluster secret a token-protected coordinator (fmserve -cluster-token)
+// requires on every protocol call. An empty token is NewClusterWorker.
+func NewClusterWorkerWithToken(id, baseURL, token string, engOpts ...Option) *ClusterWorker {
+	return cluster.NewWorker(id, &cluster.HTTPTransport{BaseURL: baseURL, Token: token}, engOpts...)
 }
 
 // Machine-readable document types: the JSON counterparts of the text

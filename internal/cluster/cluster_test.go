@@ -377,7 +377,83 @@ func TestMergeIdentifyExactness(t *testing.T) {
 	}
 }
 
+// TestRunZeroShards submits a request whose ISP filter matches nothing:
+// Run must complete immediately with the empty merged document instead
+// of enqueueing a job no Result can ever finish.
+func TestRunZeroShards(t *testing.T) {
+	completed := 0
+	c := NewCoordinator(Options{OnComplete: func(Request, any) { completed++ }})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	doc, err := c.Run(ctx, Request{Kind: KindMechanisms, ISPs: []string{"no-such-isp"}})
+	if err != nil {
+		t.Fatalf("zero-shard Run: %v", err)
+	}
+	md, ok := doc.(report.MechanismsDoc)
+	if !ok || len(md.Mechanisms) != 0 {
+		t.Fatalf("zero-shard doc = %#v, want empty MechanismsDoc", doc)
+	}
+	if completed != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", completed)
+	}
+	ctr := c.Counters()
+	if ctr.Jobs != 1 || ctr.JobsDone != 1 || ctr.Shards != 0 {
+		t.Fatalf("zero-shard counters: %+v", ctr)
+	}
+}
+
 // ---- worker loop against a live coordinator ----
+
+// bogusLeaseTransport corrupts every granted lease's shard kind, so the
+// worker's runner deterministically fails the shard while both the lease
+// and the worker's parent context stay perfectly healthy.
+type bogusLeaseTransport struct {
+	LocalTransport
+}
+
+func (t bogusLeaseTransport) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	resp, err := t.LocalTransport.Lease(ctx, req)
+	for i := range resp.Leases {
+		resp.Leases[i].Spec.Kind = "bogus"
+	}
+	return resp, err
+}
+
+// TestWorkerPostsGenuineFailure pins the failure-reporting contract: a
+// shard that genuinely fails under a live lease must be posted as an
+// error result, so the coordinator counts the attempt and fails the job
+// at MaxAttempts. (A worker that silently walks away instead leaves a
+// deterministically failing shard re-leased after every TTL forever and
+// the job hanging.)
+func TestWorkerPostsGenuineFailure(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Hour, MaxAttempts: 2})
+	docs, errs := startJob(t, c)
+
+	w := NewWorker("failer", bogusLeaseTransport{LocalTransport{Coord: c}})
+	w.Poll = time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		w.Run(ctx) //nolint:errcheck // exits on cancel
+	}()
+
+	select {
+	case <-docs:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never finished: worker failures are not reaching the coordinator")
+	}
+	err := <-errs
+	if err == nil || !strings.Contains(err.Error(), "failed 2 times") {
+		t.Fatalf("job error = %v, want shard-failure budget exhaustion", err)
+	}
+	if ctr := c.Counters(); ctr.ShardsRetried < 2 || ctr.JobsFailed != 1 {
+		t.Fatalf("counters after worker-reported failures: %+v", ctr)
+	}
+	cancel()
+	<-runDone
+}
 
 // TestWorkerDrainReleasesLease checks the graceful-drain contract at the
 // transport level: a worker draining between lease and execution hands

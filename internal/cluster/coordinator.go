@@ -119,6 +119,24 @@ func (c *Coordinator) Run(ctx context.Context, req Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(specs) == 0 {
+		// Nothing to lease: merging is triggered by the last shard's
+		// Result, so an enqueued zero-shard job could never complete.
+		// Merge the empty fragment set immediately instead — the same
+		// (empty) document the single-process path produces.
+		doc, err := Merge(req, nil)
+		if err != nil {
+			return nil, err
+		}
+		if c.opts.OnComplete != nil {
+			c.opts.OnComplete(req, doc)
+		}
+		c.mu.Lock()
+		c.counters.Jobs++
+		c.counters.JobsDone++
+		c.mu.Unlock()
+		return doc, nil
+	}
 
 	c.mu.Lock()
 	c.jobSeq++

@@ -50,6 +50,9 @@ type FollowerCounters struct {
 type Follower struct {
 	// URL is the coordinator base URL.
 	URL string
+	// Token is the shared cluster secret sent as the TokenHeader when
+	// the coordinator's log is token-protected ("" = none).
+	Token string
 	// Store is the local replica store.
 	Store *store.Store
 	// Interval paces Run's polling (0 = 2s).
@@ -115,6 +118,9 @@ func (f *Follower) fetch(ctx context.Context, after uint64) (LogResponse, error)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return out, err
+	}
+	if f.Token != "" {
+		req.Header.Set(TokenHeader, f.Token)
 	}
 	client := f.Client
 	if client == nil {

@@ -53,10 +53,18 @@ func (t LocalTransport) Release(_ context.Context, req ReleaseRequest) error {
 type HTTPTransport struct {
 	// BaseURL is the coordinator root, e.g. "http://host:8080".
 	BaseURL string
+	// Token is the shared cluster secret sent as the TokenHeader on
+	// every call. Required when the coordinator was started with a
+	// cluster token; empty otherwise.
+	Token string
 	// Client is the HTTP client (nil = a dedicated client with a 30s
 	// timeout).
 	Client *http.Client
 }
+
+// TokenHeader carries the shared cluster secret on every worker and
+// replica request to a token-protected coordinator.
+const TokenHeader = "X-Cluster-Token"
 
 func (t *HTTPTransport) client() *http.Client {
 	if t.Client != nil {
@@ -76,6 +84,9 @@ func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) erro
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if t.Token != "" {
+		req.Header.Set(TokenHeader, t.Token)
+	}
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return err
@@ -219,6 +230,12 @@ func (w *Worker) execute(ctx context.Context, lease ShardLease) {
 	if hb <= 0 {
 		hb = 2 * time.Second
 	}
+	// leaseLost distinguishes "the heartbeat learned the lease was
+	// reassigned" from every other way shardCtx can end: by the time
+	// RunShard returns, execute has always called cancel(), so
+	// shardCtx.Err() alone cannot tell a revoked lease from a genuine
+	// shard failure.
+	var leaseLost atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -238,6 +255,7 @@ func (w *Worker) execute(ctx context.Context, lease ShardLease) {
 			if len(resp.Valid) == 1 && !resp.Valid[0] {
 				// Lease lost: the shard is someone else's now. Stop
 				// burning cycles on it.
+				leaseLost.Store(true)
 				cancel()
 				return
 			}
@@ -248,10 +266,22 @@ func (w *Worker) execute(ctx context.Context, lease ShardLease) {
 	cancel()
 	wg.Wait()
 
-	if err != nil && shardCtx.Err() != nil && ctx.Err() == nil {
-		// The heartbeat canceled us because the lease was reassigned;
-		// posting a failure would be noise. Walk away.
-		return
+	if err != nil {
+		if leaseLost.Load() {
+			// The heartbeat canceled us because the lease was
+			// reassigned; posting a failure would be noise. Walk away.
+			return
+		}
+		if ctx.Err() != nil {
+			// Our own shutdown cut the shard off: hand the lease back so
+			// the coordinator requeues immediately without charging the
+			// shard's failure budget.
+			w.release(lease.Ref)
+			return
+		}
+		// A genuine shard failure under a live lease: post it so the
+		// coordinator counts the attempt (and can fail the job at
+		// MaxAttempts instead of re-leasing a doomed shard forever).
 	}
 	res := ResultRequest{Worker: w.ID, Ref: lease.Ref, Fragment: frag}
 	if err != nil {

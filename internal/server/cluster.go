@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -152,10 +153,12 @@ func (s *Server) clusterRequest(kind string, req any) (cluster.Request, bool) {
 func (s *Server) recordClusterDoc(req cluster.Request, doc any) {
 	storeKind, err := storeKindFor(req.Kind)
 	if err != nil {
+		s.metrics.clusterAppendError()
 		return
 	}
 	body, err := json.Marshal(doc)
 	if err != nil {
+		s.metrics.clusterAppendError()
 		return
 	}
 	meta, err := s.snaps.Append(store.Snapshot{
@@ -166,6 +169,11 @@ func (s *Server) recordClusterDoc(req cluster.Request, doc any) {
 		Body:   body,
 	})
 	if err != nil {
+		// The client already received the merged document, but the
+		// record never reached the replication log: followers and
+		// /v1/snapshots are now behind reality. Count it so operators
+		// can see the log diverging.
+		s.metrics.clusterAppendError()
 		return
 	}
 	s.metrics.snapshotRecorded(meta.Deduped)
@@ -180,14 +188,40 @@ func (s *Server) recordClusterDoc(req cluster.Request, doc any) {
 }
 
 // clusterPath reports whether an URL path belongs to the worker/replica
-// protocol, which the rate limiter must not throttle: a starved
-// heartbeat would expire leases and churn shards under client load.
+// protocol, which the rate limiter must not throttle for authenticated
+// workers: a starved heartbeat would expire leases and churn shards
+// under client load.
 func clusterPath(path string) bool {
 	switch path {
 	case "/v1/cluster/lease", "/v1/cluster/result", "/v1/cluster/heartbeat",
 		"/v1/cluster/release", "/v1/cluster/log":
 		return true
 	}
+	return false
+}
+
+// clusterAuthorized reports whether the request may speak the worker/
+// replica protocol: the configured cluster token matches (constant-time
+// compare), or no token is configured and the protocol is open.
+func (s *Server) clusterAuthorized(r *http.Request) bool {
+	token := s.opts.ClusterToken
+	if token == "" {
+		return true
+	}
+	got := r.Header.Get(cluster.TokenHeader)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
+// clusterAuth gates a protocol handler, writing 401 when the request
+// lacks the configured cluster token. Without a token the leases,
+// fragments, and replication log would be open to any client the rate
+// limiter lets through: forged fragments would merge into served
+// documents and replicate to followers.
+func (s *Server) clusterAuth(w http.ResponseWriter, r *http.Request) bool {
+	if s.clusterAuthorized(r) {
+		return true
+	}
+	jsonError(w, http.StatusUnauthorized, "cluster token required (send "+cluster.TokenHeader+")")
 	return false
 }
 
@@ -204,6 +238,9 @@ func (s *Server) clusterCoord(w http.ResponseWriter) *cluster.Coordinator {
 }
 
 func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
 	coord := s.clusterCoord(w)
 	if coord == nil {
 		return
@@ -220,6 +257,9 @@ func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
 	coord := s.clusterCoord(w)
 	if coord == nil {
 		return
@@ -240,6 +280,9 @@ func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
 	coord := s.clusterCoord(w)
 	if coord == nil {
 		return
@@ -256,6 +299,9 @@ func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *Server) handleClusterRelease(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
 	coord := s.clusterCoord(w)
 	if coord == nil {
 		return
@@ -282,6 +328,9 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 // of cluster role — the log is just the snapshot store in sequence
 // order — so any fmserve can be a replication source.
 func (s *Server) handleClusterLog(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
 	after, err := parseUintParam(r, "after")
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err.Error())

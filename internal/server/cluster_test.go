@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strconv"
@@ -101,6 +103,9 @@ func TestClusterStatusMetricsAndLog(t *testing.T) {
 	if metrics.Cluster.Role != RoleBoth || metrics.Cluster.Counters.ShardsDone == 0 {
 		t.Fatalf("/metrics cluster section = %+v", metrics.Cluster)
 	}
+	if metrics.Cluster.AppendErrors != 0 {
+		t.Fatalf("AppendErrors = %d after clean runs, want 0", metrics.Cluster.AppendErrors)
+	}
 
 	// The completed run appended to the store — the replication log.
 	var logResp cluster.LogResponse
@@ -120,6 +125,75 @@ func TestClusterStatusMetricsAndLog(t *testing.T) {
 	if len(logResp.Records) != 0 {
 		t.Fatalf("tail past LastSeq returned %d records", len(logResp.Records))
 	}
+}
+
+// TestClusterTokenAuth locks down the worker/replica protocol: with a
+// cluster token configured, every /v1/cluster/* protocol endpoint must
+// reject requests without the token, and accept them with it — so no
+// anonymous client can lease shards, forge fragments into the merge and
+// replication log, or fail jobs with repeated error posts.
+func TestClusterTokenAuth(t *testing.T) {
+	opts := clusterTestOptions(1)
+	opts.ClusterToken = "s3cret"
+	_, ts := newTestServer(t, opts)
+
+	protocol := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/v1/cluster/lease"},
+		{http.MethodPost, "/v1/cluster/result"},
+		{http.MethodPost, "/v1/cluster/heartbeat"},
+		{http.MethodPost, "/v1/cluster/release"},
+		{http.MethodGet, "/v1/cluster/log"},
+	}
+	for _, ep := range protocol {
+		req, err := http.NewRequest(ep.method, ts.URL+ep.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", ep.method, ep.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s %s without token = %d, want 401", ep.method, ep.path, resp.StatusCode)
+		}
+
+		req, err = http.NewRequest(ep.method, ts.URL+ep.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.TokenHeader, "wrong")
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", ep.method, ep.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s %s with wrong token = %d, want 401", ep.method, ep.path, resp.StatusCode)
+		}
+	}
+
+	// The right token speaks the protocol normally.
+	body, _ := json.Marshal(cluster.LeaseRequest{Worker: "authed"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/cluster/lease", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.TokenHeader, "s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("authed lease: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authed lease = %d, want 200", resp.StatusCode)
+	}
+
+	// The in-process workers use the local transport, so the pipeline
+	// still runs under a token-locked protocol.
+	postBody(t, ts.URL+"/v1/mechanisms?wait=1")
 }
 
 // TestClusterLeaseValidation checks the protocol endpoints reject

@@ -32,6 +32,11 @@ type metrics struct {
 	diffs            uint64
 	invalidated      uint64
 
+	// clusterAppendErrors counts merged cluster documents that failed to
+	// append to the snapshot store — records missing from the
+	// replication log that clients nevertheless received.
+	clusterAppendErrors uint64
+
 	// engineStats and engineEvents are installed into every world's
 	// engine config, so pipeline stages report here across runs.
 	engineStats  *engine.Stats
@@ -89,6 +94,17 @@ func (m *metrics) snapshotRecorded(deduped bool) {
 		m.snapshotsDeduped++
 	}
 	m.mu.Unlock()
+}
+
+// clusterAppendError accounts one merged cluster document dropped from
+// the replication log by a marshal/append failure.
+func (m *metrics) clusterAppendError() { m.mu.Lock(); m.clusterAppendErrors++; m.mu.Unlock() }
+
+// clusterAppendErrorCount reads the census for /metrics.
+func (m *metrics) clusterAppendErrorCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clusterAppendErrors
 }
 
 // diffComputed accounts one longitudinal diff execution (cache misses
@@ -154,6 +170,11 @@ type ClusterMetricsDoc struct {
 	// Workers counts live ring members.
 	Workers  int              `json:"workers"`
 	Counters cluster.Counters `json:"counters"`
+	// AppendErrors counts merged documents that failed to append to the
+	// snapshot store: the replication log is missing records that
+	// clients received. Anything non-zero means followers and
+	// /v1/snapshots have silently diverged from served results.
+	AppendErrors uint64 `json:"append_errors"`
 }
 
 // WatchDoc is the event-stream fan-out census: live subscribers, events

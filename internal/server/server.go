@@ -98,6 +98,13 @@ type Options struct {
 	// workers over /v1/cluster/* instead of running in-process (nil =
 	// single-process execution).
 	Cluster *ClusterOptions
+	// ClusterToken, when set, protects the /v1/cluster/* worker and
+	// replication-log endpoints: requests must carry it in the
+	// X-Cluster-Token header or they are rejected with 401, and only
+	// authenticated cluster requests bypass the rate limiter. Empty
+	// leaves the protocol open (trusted-network deployments). The same
+	// token authenticates this server's outgoing Follow polling.
+	ClusterToken string
 	// Follow makes this server a read-only serving replica: it tails the
 	// named coordinator's replication log (GET /v1/cluster/log) into its
 	// own snapshot store. The replica must take no local snapshot writes.
@@ -226,6 +233,7 @@ func New(opts Options, engOpts ...engine.Option) (*Server, error) {
 	if opts.Follow != "" {
 		s.follower = &cluster.Follower{
 			URL:      opts.Follow,
+			Token:    opts.ClusterToken,
 			Store:    s.snaps,
 			Interval: opts.FollowInterval,
 			OnApply: func(meta store.Meta) {
@@ -312,10 +320,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // root is the outermost middleware: rate limiting (healthz and the
-// cluster worker/replica protocol exempt) and the request-size cap.
+// authenticated cluster worker/replica protocol exempt) and the
+// request-size cap. An unauthenticated request to a cluster path gets
+// no exemption: it pays the rate limiter like any other client before
+// the handler rejects it with 401.
 func (s *Server) root(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/healthz" && !clusterPath(r.URL.Path) && !s.limiter.allow(clientKey(r)) {
+		exempt := r.URL.Path == "/healthz" ||
+			(clusterPath(r.URL.Path) && s.clusterAuthorized(r))
+		if !exempt && !s.limiter.allow(clientKey(r)) {
 			s.metrics.rateLimited()
 			w.Header().Set("Retry-After", "1")
 			jsonError(w, http.StatusTooManyRequests, "rate limit exceeded")
@@ -1153,9 +1166,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.clusterRt != nil {
 		status := s.clusterRt.coord.Status()
 		doc.Cluster = &ClusterMetricsDoc{
-			Role:     s.clusterRt.role,
-			Workers:  len(status.Workers),
-			Counters: status.Counters,
+			Role:         s.clusterRt.role,
+			Workers:      len(status.Workers),
+			Counters:     status.Counters,
+			AppendErrors: s.metrics.clusterAppendErrorCount(),
 		}
 	}
 	if s.follower != nil {
