@@ -33,12 +33,15 @@ discover-golden:
 
 # The chaos determinism check: a full fmrepro run under the seeded
 # fault-injection plan must complete with explicitly degraded results
-# and be byte-identical at any worker count. Regenerate the golden after
-# an intentional change with
-# `go run ./cmd/fmrepro -chaos 42 -only figure1,table3,table4 > testdata/chaos.golden`.
+# and be byte-identical at any worker count — clustered (shard fan-out)
+# included, pinned to its own testdata/chaos_cluster.golden. Regenerate
+# the single-process golden after an intentional change with
+# `go run ./cmd/fmrepro -chaos 42 -only figure1,table3,table4 > testdata/chaos.golden`
+# and the cluster golden with
+# `UPDATE_GOLDEN=1 go test -run TestGoldenClusterChaos -count=1 .`.
 .PHONY: chaos-golden
 chaos-golden:
-	go test -race -run 'TestChaos' -count=1 .
+	go test -race -run 'TestChaos|TestGoldenClusterChaos' -count=1 .
 
 # The mechanism-survey determinism check: the seeded multi-mechanism
 # world (DNS poisoning, RST injection, SNI filtering) must attribute a
@@ -68,6 +71,25 @@ monitor-golden:
 cluster-golden:
 	go test -race -run 'TestGoldenClusterScanOut|TestClusterWorker|TestClusterReplication' -count=1 .
 	go test -race -run 'TestClusterByteIdentity' -count=1 ./internal/server/
+
+# The world-scaling determinism check (DESIGN.md §16): the lazily
+# materialized synthetic population must be byte-identical to an eager
+# build for every artifact at any worker count and access order, the
+# default profile must reproduce every committed golden, and a 1%-probed
+# nation world must stay under its heap ceiling (the ceiling runs
+# without -race; shadow memory would drown it).
+.PHONY: world-golden
+world-golden:
+	go test -race -run 'TestScale|TestRealm|TestServeHandlerDirectDispatch' -count=1 . ./internal/world/ ./internal/netsim/
+	go test -run 'TestScaleNationLazyMemoryCeiling' -count=1 ./internal/world/
+
+# The world-scaling benchmarks (DESIGN.md §16) as JSON: cold whole-ISP
+# materialization via dial, live heap per 10k materialized hosts, and
+# the full city identify scan lazy vs eager at 1/8 workers. Compare
+# against the committed BENCH_world.json.
+.PHONY: bench-world
+bench-world:
+	./scripts/bench_json.sh 10x world
 
 # Short deterministic fuzzing of every wire-facing parser: each target
 # runs its seed corpus plus a few seconds of mutation. A real fuzzing
@@ -142,4 +164,4 @@ alloc-gate:
 	go test -run 'TestZeroAlloc' -count=1 ./internal/match/ ./internal/blockpage/ ./internal/scanner/ ./internal/fingerprint/
 
 .PHONY: ci
-ci: test-gate test race chaos-golden monitor-golden cluster-golden
+ci: test-gate test race chaos-golden monitor-golden cluster-golden world-golden

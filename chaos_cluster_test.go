@@ -1,0 +1,78 @@
+// The clustered chaos golden (ROADMAP "cluster-aware chaos goldens"):
+// a coordinator fanning a fault-injected world out to shard workers is
+// pinned to testdata/chaos_cluster.golden, distinct from the
+// single-process testdata/chaos.golden.
+//
+// Why a separate golden: chaos.golden pins fmrepro's text tables from
+// one process, where a single world carries the fault plan, retry
+// budget and circuit breaker across the whole pipeline. The clustered
+// run rebuilds a fresh world replica per shard, so each shard replays
+// the fault schedule from its own origin, and a lease expiry or shard
+// retry re-executes that shard from scratch — timing that the
+// single-process golden cannot see. The faults are derived
+// deterministically per connection, so the per-shard replays merge into
+// a deterministic document: this file pins that contract. If shard
+// retry state ever leaks into fragments (the regression the ROADMAP
+// warned about), this golden diverges while chaos.golden stays green.
+//
+// Regenerate after an intentional change with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGoldenClusterChaos -count=1 .
+package filtermap_test
+
+import (
+	"os"
+	"testing"
+
+	"filtermap"
+)
+
+// clusterChaosRun collects the chaos-affected cluster documents from a
+// coordinator with the given number of local shard workers.
+func clusterChaosRun(t *testing.T, localWorkers int) string {
+	t.Helper()
+	coord := startServer(t, filtermap.ServeOptions{
+		World: filtermap.Options{ChaosSeed: chaosSeed},
+		Cluster: &filtermap.ClusterOptions{
+			Role:         filtermap.RoleBoth,
+			LocalWorkers: localWorkers,
+		},
+	})
+	out := ""
+	for _, kind := range []string{"identify", "mechanisms"} {
+		out += "== /v1/" + kind + " (chaos seed 42, clustered) ==\n"
+		out += string(postBytes(t, coord.URL+"/v1/"+kind+"?wait=1"))
+	}
+	return out
+}
+
+func TestGoldenClusterChaos(t *testing.T) {
+	got1 := clusterChaosRun(t, 1)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile("testdata/chaos_cluster.golden", []byte(got1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Deterministic at any shard-worker count: four workers interleave
+	// lease acquisition and fault replay differently, but the merged
+	// document must not move.
+	got4 := clusterChaosRun(t, 4)
+	diffArtifacts(t, "clustered chaos documents at 1 vs 4 workers", got1, got4)
+
+	compareGolden(t, "chaos_cluster.golden", got1)
+
+	// The stronger property that resolves the ROADMAP item: because
+	// faults are a pure function of (seed, connection), the per-shard
+	// replays merge into exactly the single-process documents. A
+	// divergence here means shard retry timing started leaking into
+	// fragments — pin it by updating BOTH goldens deliberately, never by
+	// loosening this check.
+	plain := startServer(t, filtermap.ServeOptions{World: filtermap.Options{ChaosSeed: chaosSeed}})
+	single := ""
+	for _, kind := range []string{"identify", "mechanisms"} {
+		single += "== /v1/" + kind + " (chaos seed 42, clustered) ==\n"
+		single += string(postBytes(t, plain.URL+"/v1/"+kind+"?wait=1"))
+	}
+	diffArtifacts(t, "clustered vs single-process chaos documents", got1, single)
+}

@@ -46,6 +46,7 @@ func main() {
 	stats := flag.Bool("stats", false, "append per-stage engine statistics")
 	storeDir := flag.String("store", "", "record the run into this snapshot store directory")
 	table4 := flag.Bool("table4", false, "fold the discovered list into a re-measurement and print Table 4")
+	scale := flag.String("scale", "", "world scale profile: small (default), city, nation — city/nation add a lazily-materialized synthetic population")
 	chaosSeed := flag.Uint64("chaos", 0, "nonzero: install the deterministic fault-injection plan with this seed")
 	faultProfile := flag.String("fault-profile", "",
 		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
@@ -62,6 +63,7 @@ func main() {
 		Seed:         *seed,
 		ChaosSeed:    *chaosSeed,
 		FaultProfile: *faultProfile,
+		Scale:        *scale,
 	}, engOpts...)
 	if err != nil {
 		log.Fatal(err)

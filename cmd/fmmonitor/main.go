@@ -45,6 +45,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the event stream as JSON lines")
 	summary := flag.Bool("summary", false, "append the scheduler-counter summary")
 	storeDir := flag.String("store", "", "persist snapshots into this store directory (default: in-memory)")
+	scale := flag.String("scale", "", "world scale profile: small (default), city, nation — city/nation add a lazily-materialized synthetic population")
 	chaosSeed := flag.Uint64("chaos", 0, "nonzero: install the deterministic fault-injection plan with this seed")
 	faultProfile := flag.String("fault-profile", "",
 		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
@@ -79,6 +80,7 @@ func main() {
 			Seed:         *worldSeed,
 			ChaosSeed:    *chaosSeed,
 			FaultProfile: *faultProfile,
+			Scale:        *scale,
 		},
 		Engine:  engOpts,
 		NoChurn: *noChurn,

@@ -51,6 +51,7 @@ var (
 		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
 			strings.Join(filtermap.FaultProfiles(), ", "), filtermap.DefaultFaultProfile))
 	workers = flag.Int("workers", 0, "worker-pool size for pooled pipeline stages (0 = engine default)")
+	scale   = flag.String("scale", "", "world scale profile: small (default), city, nation — city/nation add a lazily-materialized synthetic population")
 )
 
 // newWorld builds a world for one step, folding in the global -chaos,
@@ -58,6 +59,7 @@ var (
 func newWorld(base filtermap.Options) (*filtermap.World, error) {
 	base.ChaosSeed = *chaosSeed
 	base.FaultProfile = *faultProfile
+	base.Scale = *scale
 	var engOpts []filtermap.Option
 	if *workers > 0 {
 		engOpts = append(engOpts, filtermap.WithWorkers(*workers))

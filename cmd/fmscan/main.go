@@ -44,6 +44,7 @@ func main() {
 	faultProfile := flag.String("fault-profile", "",
 		fmt.Sprintf("fault profile for -chaos, one of %s (default %q)",
 			strings.Join(filtermap.FaultProfiles(), ", "), filtermap.DefaultFaultProfile))
+	scale := flag.String("scale", "", "world scale profile: small (default), city, nation — city/nation add a lazily-materialized synthetic population")
 	checkVersion := version.Flag(flag.CommandLine, "fmscan")
 	flag.Parse()
 	checkVersion()
@@ -51,6 +52,7 @@ func main() {
 	w, err := filtermap.NewWorld(filtermap.Options{
 		ChaosSeed:    *chaosSeed,
 		FaultProfile: *faultProfile,
+		Scale:        *scale,
 	}, filtermap.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)

@@ -319,6 +319,16 @@ func NewDiffEngine(opts ...Option) *DiffEngine { return longitudinal.New(opts...
 // result cache share.
 func ConfigHash(v any) string { return store.ConfigHash(v) }
 
+// Scale profile names accepted by Options.Scale. The default ("" or
+// ScaleSmall) is the handcrafted paper world alone; ScaleCity and
+// ScaleNation add lazily-materialized synthetic populations (see
+// DESIGN.md §16).
+const (
+	ScaleSmall  = world.ScaleSmall
+	ScaleCity   = world.ScaleCity
+	ScaleNation = world.ScaleNation
+)
+
 // ISP names and AS numbers of the paper's case studies.
 const (
 	ISPEtisalat = world.ISPEtisalat

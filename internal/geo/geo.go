@@ -7,6 +7,15 @@
 // databases, a line-oriented whois protocol server that can be mounted on
 // a simulated (or real) TCP listener, and the client the identification
 // pipeline uses.
+//
+// Both tables are keyed by masked prefix, grouped by prefix length: a
+// lookup probes one map per distinct length, most specific first, so
+// cost is O(distinct lengths) instead of O(records). That keeps whois
+// and geolocation flat-cost as the synthetic world grows to thousands
+// of prefixes. Addresses outside every stored prefix can be answered
+// by a fallback function (SetFallback), which is how lazily-generated
+// realm address space gets whois/geo answers without materializing a
+// record per synthetic ISP.
 package geo
 
 import (
@@ -24,29 +33,35 @@ type Record struct {
 }
 
 // DB is a longest-prefix-match geolocation database. The zero value is an
-// empty database ready for Add. DB is safe for concurrent use once built;
-// Add must not race with lookups.
+// empty database ready for Add. DB is safe for concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	records []Record
-	sorted  bool
+	mu       sync.RWMutex
+	byBits   map[int]map[netip.Addr]string // prefix length → masked prefix addr → country
+	bits     []int                         // distinct lengths, descending (most specific first)
+	count    int
+	fallback func(netip.Addr) (string, bool)
 }
 
 // Add inserts a prefix→country mapping. Re-adding an identical prefix
 // replaces the old record (last write wins), so overlays can move an
 // address between countries more than once.
 func (db *DB) Add(prefix netip.Prefix, country string) {
-	rec := Record{Prefix: prefix.Masked(), Country: strings.ToUpper(country)}
+	p := prefix.Masked()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for i := range db.records {
-		if db.records[i].Prefix == rec.Prefix {
-			db.records[i] = rec
-			return
-		}
+	if db.byBits == nil {
+		db.byBits = make(map[int]map[netip.Addr]string)
 	}
-	db.records = append(db.records, rec)
-	db.sorted = false
+	m := db.byBits[p.Bits()]
+	if m == nil {
+		m = make(map[netip.Addr]string)
+		db.byBits[p.Bits()] = m
+		db.bits = insertBitsDesc(db.bits, p.Bits())
+	}
+	if _, dup := m[p.Addr()]; !dup {
+		db.count++
+	}
+	m[p.Addr()] = strings.ToUpper(country)
 }
 
 // AddCIDR parses cidr and inserts it. It returns an error on a malformed
@@ -60,22 +75,33 @@ func (db *DB) AddCIDR(cidr, country string) error {
 	return nil
 }
 
+// SetFallback installs a function consulted for addresses no stored
+// prefix contains. The synthetic world's realm answers here with a
+// country derived purely from the address, so unmaterialized hosts
+// geolocate identically to materialized ones.
+func (db *DB) SetFallback(fn func(netip.Addr) (string, bool)) {
+	db.mu.Lock()
+	db.fallback = fn
+	db.mu.Unlock()
+}
+
 // Country returns the country of the most specific prefix containing addr.
 func (db *DB) Country(addr netip.Addr) (string, bool) {
-	db.mu.Lock()
-	if !db.sorted {
-		// Most-specific-first so the first containing record wins.
-		sort.Slice(db.records, func(i, j int) bool {
-			return db.records[i].Prefix.Bits() > db.records[j].Prefix.Bits()
-		})
-		db.sorted = true
-	}
-	records := db.records
-	db.mu.Unlock()
-	for _, r := range records {
-		if r.Prefix.Contains(addr) {
-			return r.Country, true
+	db.mu.RLock()
+	for _, b := range db.bits {
+		p, err := addr.Prefix(b)
+		if err != nil {
+			continue
 		}
+		if c, ok := db.byBits[b][p.Addr()]; ok {
+			db.mu.RUnlock()
+			return c, true
+		}
+	}
+	fn := db.fallback
+	db.mu.RUnlock()
+	if fn != nil {
+		return fn(addr)
 	}
 	return "", false
 }
@@ -84,7 +110,7 @@ func (db *DB) Country(addr netip.Addr) (string, bool) {
 func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.records)
+	return db.count
 }
 
 // ASRecord is one IP-to-ASN entry, mirroring the fields of a Team Cymru
@@ -100,12 +126,16 @@ type ASRecord struct {
 // ASTable answers IP→ASN queries with longest-prefix matching. The zero
 // value is ready to use.
 type ASTable struct {
-	mu      sync.RWMutex
-	records []ASRecord
-	sorted  bool
+	mu       sync.RWMutex
+	byBits   map[int]map[netip.Addr]ASRecord
+	bits     []int
+	count    int
+	fallback func(netip.Addr) (ASRecord, bool)
 }
 
 // Add inserts a record. Registry defaults to "assigned" when empty.
+// Identical prefixes replace (last write wins): a re-migrated
+// installation must resolve to its newest announcement.
 func (t *ASTable) Add(rec ASRecord) {
 	if rec.Registry == "" {
 		rec.Registry = "assigned"
@@ -114,35 +144,46 @@ func (t *ASTable) Add(rec ASRecord) {
 	rec.Country = strings.ToUpper(rec.Country)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	// Identical prefixes replace (last write wins): two records at the
-	// same length would otherwise tie in the most-specific sort and leave
-	// the winner to sort instability — a re-migrated installation must
-	// resolve to its newest announcement.
-	for i := range t.records {
-		if t.records[i].Prefix == rec.Prefix {
-			t.records[i] = rec
-			return
-		}
+	if t.byBits == nil {
+		t.byBits = make(map[int]map[netip.Addr]ASRecord)
 	}
-	t.records = append(t.records, rec)
-	t.sorted = false
+	m := t.byBits[rec.Prefix.Bits()]
+	if m == nil {
+		m = make(map[netip.Addr]ASRecord)
+		t.byBits[rec.Prefix.Bits()] = m
+		t.bits = insertBitsDesc(t.bits, rec.Prefix.Bits())
+	}
+	if _, dup := m[rec.Prefix.Addr()]; !dup {
+		t.count++
+	}
+	m[rec.Prefix.Addr()] = rec
+}
+
+// SetFallback installs a function consulted for addresses no stored
+// prefix contains, mirroring DB.SetFallback for whois answers.
+func (t *ASTable) SetFallback(fn func(netip.Addr) (ASRecord, bool)) {
+	t.mu.Lock()
+	t.fallback = fn
+	t.mu.Unlock()
 }
 
 // Lookup returns the most specific record containing addr.
 func (t *ASTable) Lookup(addr netip.Addr) (ASRecord, bool) {
-	t.mu.Lock()
-	if !t.sorted {
-		sort.Slice(t.records, func(i, j int) bool {
-			return t.records[i].Prefix.Bits() > t.records[j].Prefix.Bits()
-		})
-		t.sorted = true
-	}
-	records := t.records
-	t.mu.Unlock()
-	for _, r := range records {
-		if r.Prefix.Contains(addr) {
-			return r, true
+	t.mu.RLock()
+	for _, b := range t.bits {
+		p, err := addr.Prefix(b)
+		if err != nil {
+			continue
 		}
+		if rec, ok := t.byBits[b][p.Addr()]; ok {
+			t.mu.RUnlock()
+			return rec, true
+		}
+	}
+	fn := t.fallback
+	t.mu.RUnlock()
+	if fn != nil {
+		return fn(addr)
 	}
 	return ASRecord{}, false
 }
@@ -151,5 +192,14 @@ func (t *ASTable) Lookup(addr netip.Addr) (ASRecord, bool) {
 func (t *ASTable) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.records)
+	return t.count
+}
+
+// insertBitsDesc inserts b into the descending-sorted lengths slice.
+func insertBitsDesc(bits []int, b int) []int {
+	i := sort.Search(len(bits), func(i int) bool { return bits[i] <= b })
+	bits = append(bits, 0)
+	copy(bits[i+1:], bits[i:])
+	bits[i] = b
+	return bits
 }

@@ -1,0 +1,82 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStringCanonical(t *testing.T) {
+	tab := NewTable()
+	a := tab.String("hello")
+	b := tab.String(string([]byte{'h', 'e', 'l', 'l', 'o'})) // distinct backing array
+	if a != "hello" || b != "hello" {
+		t.Fatalf("interned values differ from input: %q %q", a, b)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestBytesSharesBacking(t *testing.T) {
+	tab := NewTable()
+	first := tab.Bytes([]byte("banner text"))
+	second := tab.Bytes([]byte("banner text"))
+	// Same canonical string: comparing headers is enough for equality,
+	// but the point of interning is pointer identity of the backing
+	// data, which Go exposes via string equality being O(1) when the
+	// data pointers match. We can at least assert Len stayed 1.
+	if first != second {
+		t.Fatalf("interned bytes differ: %q vs %q", first, second)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tab := NewTable()
+	if tab.String("") != "" || tab.Bytes(nil) != "" {
+		t.Fatal("empty inputs must intern to the empty string")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after empty inputs", tab.Len())
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	tab := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := fmt.Sprintf("value-%d", i%17)
+				if got := tab.String(s); got != s {
+					t.Errorf("String(%q) = %q", s, got)
+					return
+				}
+				if got := tab.Bytes([]byte(s)); got != s {
+					t.Errorf("Bytes(%q) = %q", s, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tab.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", tab.Len())
+	}
+}
+
+func BenchmarkBytesHit(b *testing.B) {
+	tab := NewTable()
+	payload := []byte("HTTP/1.1 200 OK\r\nServer: nginx\r\n")
+	tab.Bytes(payload)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Bytes(payload)
+	}
+}

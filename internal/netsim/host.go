@@ -55,6 +55,7 @@ type listener struct {
 	host       *Host
 	port       uint16
 	visibility Visibility
+	handler    Handler // non-nil: direct dispatch, no accept loop (ServeHandler)
 	mu         sync.Mutex
 	closed     bool
 	backlog    chan net.Conn
@@ -70,6 +71,15 @@ func (h *Host) Listen(port uint16) (net.Listener, error) {
 // refuse connections originating outside the host's ISP, modelling a
 // properly firewalled device (Table 5's first evasion tactic).
 func (h *Host) ListenVisibility(port uint16, vis Visibility) (net.Listener, error) {
+	l, err := h.bind(port, vis, nil)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// bind registers a listener; a non-nil handler makes it direct-dispatch.
+func (h *Host) bind(port uint16, vis Visibility, handler Handler) (*listener, error) {
 	if port == 0 {
 		return nil, fmt.Errorf("netsim: cannot listen on port 0")
 	}
@@ -78,7 +88,12 @@ func (h *Host) ListenVisibility(port uint16, vis Visibility) (net.Listener, erro
 	if _, dup := h.listeners[port]; dup {
 		return nil, fmt.Errorf("%w: %s:%d", ErrAddrInUse, h.addr, port)
 	}
-	l := &listener{host: h, port: port, visibility: vis, backlog: make(chan net.Conn, 64), done: make(chan struct{})}
+	l := &listener{host: h, port: port, visibility: vis, handler: handler, done: make(chan struct{})}
+	if handler == nil {
+		// Direct-dispatch listeners never queue: skipping the backlog
+		// channel keeps an idle nation-scale listener to one map entry.
+		l.backlog = make(chan net.Conn, 64)
+	}
 	h.listeners[port] = l
 	return l, nil
 }
@@ -100,6 +115,24 @@ func (h *Host) Serve(port uint16, vis Visibility, handler Handler) (net.Listener
 			go handler.ServeConn(c, info)
 		}
 	}()
+	return l, nil
+}
+
+// ServeHandler binds port and serves each inbound connection with
+// handler, dispatched directly from the dialer's delivery path: no
+// accept-loop goroutine exists while the port is idle. At nation
+// scale (~100k hosts × a few ports each) the per-listener goroutine
+// Serve spawns would cost gigabytes of stacks; ServeHandler listeners
+// cost one map entry. A goroutine still runs per active connection,
+// so handlers keep ordinary blocking semantics.
+func (h *Host) ServeHandler(port uint16, vis Visibility, handler Handler) (net.Listener, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("netsim: ServeHandler requires a handler")
+	}
+	l, err := h.bind(port, vis, handler)
+	if err != nil {
+		return nil, err
+	}
 	return l, nil
 }
 
@@ -156,6 +189,13 @@ func (h *Host) deliver(src *Host, port uint16, info DialInfo) (net.Conn, error) 
 	l.mu.Unlock()
 	if closed {
 		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, h.addr, port)
+	}
+	// Direct dispatch: ServeHandler listeners have no accept loop; the
+	// handler runs in a per-connection goroutine spawned here, exactly
+	// where Serve's accept loop would have spawned it.
+	if l.handler != nil {
+		go l.handler.ServeConn(server, DialInfo{Src: info.Src, Dst: h.addr, Port: port})
+		return client, nil
 	}
 	// A full accept queue parks the dialer until the listener drains it,
 	// the way SYN retransmission rides out a transient backlog overflow.

@@ -164,6 +164,7 @@ type Network struct {
 	rdns        map[netip.Addr]string
 	ases        map[int]*AS
 	isps        map[string]*ISP
+	realm       *realmState
 	dialLatency time.Duration
 	faults      *FaultPlan
 	closed      bool
@@ -337,14 +338,17 @@ func (n *Network) Hosts() []*Host {
 	return out
 }
 
-// Addrs returns the addresses of all registered hosts, sorted.
+// Addrs returns the addresses of all hosts, sorted: every registered
+// host plus every not-yet-materialized realm address, so a scanner
+// sweeping the world sees lazy hosts exactly where an eager build
+// would put them.
 func (n *Network) Addrs() []netip.Addr {
 	hosts := n.Hosts()
 	out := make([]netip.Addr, len(hosts))
 	for i, h := range hosts {
 		out[i] = h.addr
 	}
-	return out
+	return mergeSortedAddrs(out, n.realmAddrs())
 }
 
 // RegisterDNS adds an additional forward DNS record. Multiple names may
@@ -366,23 +370,32 @@ func (n *Network) UnregisterDNS(name string) {
 	delete(n.dns, strings.ToLower(name))
 }
 
-// Resolve looks up a hostname.
+// Resolve looks up a hostname. Realm-owned names resolve without
+// materializing their host; the host builds on first dial.
 func (n *Network) Resolve(name string) (netip.Addr, error) {
+	lower := strings.ToLower(name)
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	addr, ok := n.dns[strings.ToLower(name)]
-	if !ok {
-		return netip.Addr{}, fmt.Errorf("%w: %s", ErrNameNotFound, name)
+	addr, ok := n.dns[lower]
+	n.mu.RUnlock()
+	if ok {
+		return addr, nil
 	}
-	return addr, nil
+	if addr, ok := n.realmResolve(lower); ok {
+		return addr, nil
+	}
+	return netip.Addr{}, fmt.Errorf("%w: %s", ErrNameNotFound, name)
 }
 
 // ReverseLookup returns the primary DNS name for addr, if any.
+// Realm-owned addresses answer without materializing.
 func (n *Network) ReverseLookup(addr netip.Addr) (string, bool) {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	name, ok := n.rdns[addr]
-	return name, ok
+	n.mu.RUnlock()
+	if ok {
+		return name, true
+	}
+	return n.realmReverse(addr)
 }
 
 // DNSNames returns all registered forward DNS names, sorted.
@@ -423,6 +436,12 @@ func (n *Network) dial(ctx context.Context, src *Host, dst netip.Addr, port uint
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if dstHost == nil {
+		// Cold realm address: build the host on first contact. This
+		// must happen before the interception decision so a lazy dial
+		// sees the same sameISP answer an eager build would.
+		dstHost = n.materializeIfRealm(dst)
 	}
 	if latency > 0 {
 		t := time.NewTimer(latency)

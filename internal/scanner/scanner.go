@@ -27,6 +27,7 @@ import (
 
 	"filtermap/internal/engine"
 	"filtermap/internal/httpwire"
+	"filtermap/internal/intern"
 	"filtermap/internal/netsim"
 )
 
@@ -254,24 +255,46 @@ func isAlpha(s string) bool {
 // The searchable text of each banner (Banner.Text) is computed once at
 // Add time and cached as bytes, so queries scan cached slices instead of
 // lowercasing every banner on every search.
+//
+// Banner strings are interned at Add time: at nation scale tens of
+// thousands of synthetic hosts answer from a handful of templates, and
+// interning folds every duplicate hostname, header block, body excerpt
+// and cached search text onto one backing copy, so index memory grows
+// with distinct templates instead of host count.
 type Index struct {
-	mu      sync.RWMutex
-	banners []Banner
-	texts   [][]byte // texts[i] == []byte(banners[i].Text()), cached at Add
+	mu        sync.RWMutex
+	banners   []Banner
+	texts     [][]byte // texts[i] == []byte(banners[i].Text()), cached at Add
+	strs      *intern.Table
+	textBytes map[string][]byte // interned text → shared cached byte form
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{}
+	return &Index{strs: intern.NewTable(), textBytes: make(map[string][]byte)}
 }
 
 // Add inserts a banner.
 func (x *Index) Add(b Banner) {
-	text := []byte(b.Text())
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if x.strs != nil {
+		b.Hostname = x.strs.String(b.Hostname)
+		b.Country = x.strs.String(b.Country)
+		b.StatusLine = x.strs.String(b.StatusLine)
+		b.RawHead = x.strs.String(b.RawHead)
+		b.BodyExcerpt = x.strs.String(b.BodyExcerpt)
+	}
+	text := b.Text()
+	tb, ok := x.textBytes[text]
+	if !ok {
+		tb = []byte(text)
+		if x.textBytes != nil {
+			x.textBytes[text] = tb
+		}
+	}
 	x.banners = append(x.banners, b)
-	x.texts = append(x.texts, text)
+	x.texts = append(x.texts, tb)
 }
 
 // Len returns the number of indexed banners.

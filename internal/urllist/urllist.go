@@ -159,6 +159,25 @@ func (g *Generator) Domains(n int) []string {
 	return out
 }
 
+// SyntheticDomain is the pure-function counterpart of Generator for
+// lazily-generated worlds: it returns the deterministic two-word
+// .info domain for index i under seed, derivable without generating
+// domains 0..i-1 (Generator must walk its RNG sequentially, which a
+// lazy world materializing hosts in arbitrary order cannot do).
+// Unlike Generator it does not guarantee uniqueness across indices;
+// collisions are fine for the banner/decoy text it seasons.
+func SyntheticDomain(seed uint64, i int) string {
+	x := seed ^ uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	a := genWordsA[x%uint64(len(genWordsA))]
+	b := genWordsB[(x>>32)%uint64(len(genWordsB))]
+	return a + b + ".info"
+}
+
 // Themes of the ONI category scheme (§5).
 const (
 	ThemePolitical = "political"

@@ -1,0 +1,7 @@
+//go:build !race
+
+package world
+
+// raceEnabled reports whether the race detector is compiled in; memory
+// ceilings are only meaningful without its shadow-memory overhead.
+const raceEnabled = false

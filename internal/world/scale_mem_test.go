@@ -1,0 +1,63 @@
+package world
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestScaleNationLazyMemoryCeiling is the accidental-eager regression
+// guard: probing 1% of a nation-scale world must materialize only the
+// ISPs those addresses belong to, and the heap growth must stay under a
+// pinned ceiling. A full eager build of the same world costs hundreds
+// of MB; the lazy 1% costs a few.
+func TestScaleNationLazyMemoryCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("heap ceiling is meaningless under the race detector's shadow memory")
+	}
+
+	w := buildScaleWorld(t, Options{Scale: ScaleNation})
+	baseHosts := len(w.Net.Hosts())
+	probe := w.Net.Hosts()[0]
+
+	addrs := w.scale.Addrs()
+	n := len(addrs) / 100 // 1% of the population, first ISPs first
+
+	heapBefore := measuredHeap()
+	ctx := context.Background()
+	for _, addr := range addrs[:n] {
+		if c, err := probe.Dial(ctx, addr, 80); err == nil {
+			c.Close()
+		}
+	}
+	heapAfter := measuredHeap()
+
+	// Materialization is whole-ISP, so the registered population may
+	// overshoot the probed prefix by at most one ISP's worth of hosts.
+	registered := len(w.Net.Hosts()) - baseHosts
+	if max := n + w.scale.profile.hostMax; registered > max {
+		t.Fatalf("probing %d addresses registered %d hosts (max %d): materialization is not lazy",
+			n, registered, max)
+	}
+	if registered < n {
+		t.Fatalf("probing %d addresses registered only %d hosts", n, registered)
+	}
+
+	// Pinned ceiling: ~1.1k materialized hosts plus listener and realm
+	// bookkeeping measure ~2-3 MB in practice; 32 MB leaves room for
+	// allocator noise while still failing fast if the whole 105k-host
+	// population materializes (hundreds of MB).
+	const ceiling = 32 << 20
+	if grew := int64(heapAfter) - int64(heapBefore); grew > ceiling {
+		t.Fatalf("heap grew %d bytes materializing 1%% of the nation world, ceiling %d", grew, int64(ceiling))
+	}
+}
+
+// measuredHeap returns HeapAlloc after a forced collection, so the two
+// samples bracket live data rather than garbage.
+func measuredHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

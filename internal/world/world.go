@@ -104,6 +104,19 @@ type Options struct {
 	// reason as the chaos fields: mechanism-free worlds keep the
 	// ConfigHash (and thus snapshot IDs and cache keys) they always had.
 	Mechanisms *MechanismOptions `json:",omitempty"`
+
+	// Scale selects the synthetic population profile ("", "small",
+	// "city", "nation" — see scale.go). The default adds nothing, so
+	// every pre-scale golden and ConfigHash is preserved; non-default
+	// values participate in the hash, making scale part of snapshot IDs
+	// and cache keys.
+	Scale string `json:",omitempty"`
+	// EagerScale materializes the entire synthetic population at Build
+	// time instead of lazily on first dial. Excluded from the JSON form
+	// (and therefore from ConfigHash): by the determinism contract an
+	// eager world is byte-identical to a lazy one, so both must share
+	// cache keys and snapshot IDs.
+	EagerScale bool `json:"-"`
 }
 
 // World is the assembled simulation.
@@ -150,6 +163,10 @@ type World struct {
 	// hostAllocator state for researcher test sites.
 	nextSiteIP netip.Addr
 	hostingISP *netsim.ISP
+
+	// scale is the lazily-materialized synthetic population (nil at the
+	// default profile).
+	scale *scaleRealm
 
 	// Deployment handles for tests and ablations.
 	YemenLicense *licenseHandle
@@ -221,6 +238,9 @@ func Build(opts Options, engOpts ...engine.Option) (*World, error) {
 	}
 	if err := w.buildBackgroundInstallations(); err != nil {
 		return nil, fmt.Errorf("world: background installations: %w", err)
+	}
+	if err := w.buildScale(); err != nil {
+		return nil, err
 	}
 	if opts.Mechanisms != nil {
 		if err := w.buildMechanisms(); err != nil {

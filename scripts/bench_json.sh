@@ -23,6 +23,11 @@
 # The cluster suite covers distributed scan-out (DESIGN.md §15): the
 # mechanism survey through a coordinator with 1, 2 and 4 local workers,
 # showing the shard fan-out speedup.
+#
+# The world suite covers lazy world generation (DESIGN.md §16): cold
+# whole-ISP materialization through the dial path, live heap per 10k
+# materialized hosts, and the full identify scan lazy vs eager at 1 and
+# 8 workers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,15 +39,17 @@ run() { # run <package> <benchmark regex>
 		awk '/^Benchmark/ {
 			name = $1
 			sub(/-[0-9]+$/, "", name)
-			ns = "null"; bytes = "null"; allocs = "null"
+			ns = "null"; bytes = "null"; allocs = "null"; heap = ""
 			# Columns vary (b.SetBytes adds MB/s), so key on unit labels.
 			for (i = 3; i <= NF; i++) {
 				if ($i == "ns/op") ns = $(i - 1)
 				else if ($i == "B/op") bytes = $(i - 1)
 				else if ($i == "allocs/op") allocs = $(i - 1)
+				else if ($i == "heapB/10khosts") heap = $(i - 1)
 			}
-			printf "  { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s },\n",
-				name, ns, bytes, allocs
+			extra = (heap != "") ? sprintf(", \"heap_bytes_per_10k_hosts\": %s", heap) : ""
+			printf "  { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s },\n",
+				name, ns, bytes, allocs, extra
 		}'
 }
 
@@ -77,8 +84,16 @@ cluster)
 		run ./internal/cluster/ '^BenchmarkClusterFanout$'
 	)
 	;;
+world)
+	COMMENT="lazy world generation: cold-dial ISP materialization, heap per 10k hosts, full city identify scan lazy vs eager (DESIGN.md §16)"
+	out=$(
+		run ./internal/world/ '^BenchmarkScaleColdDial$'
+		run ./internal/world/ '^BenchmarkScaleMemoryPer10kHosts$'
+		run ./internal/world/ '^BenchmarkScaleFullScan$'
+	)
+	;;
 *)
-	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms, monitor, cluster)" >&2
+	echo "bench_json.sh: unknown suite \"$SUITE\" (classify, mechanisms, monitor, cluster, world)" >&2
 	exit 2
 	;;
 esac

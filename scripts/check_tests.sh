@@ -1,6 +1,9 @@
 #!/bin/sh
-# Fail when a Go package in the module has no _test.go file at all.
-# Examples are demo programs, not production surface, and are exempt.
+# Fail when a Go package in the module has no _test.go file at all, or
+# carries only vacuous test files (no Test/Benchmark/Fuzz/Example
+# function), so a new package cannot slip past the gate with an empty
+# placeholder. Examples are demo programs, not production surface, and
+# are exempt.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,6 +14,22 @@ missing=$(go list -f '{{if and (not .TestGoFiles) (not .XTestGoFiles)}}{{.Import
 if [ -n "$missing" ]; then
 	echo "packages without any _test.go file:" >&2
 	echo "$missing" | sed 's/^/  /' >&2
+	exit 1
+fi
+
+vacuous=$(go list -f '{{$d := .Dir}}{{range .TestGoFiles}}{{$d}}/{{.}} {{end}}{{range .XTestGoFiles}}{{$d}}/{{.}} {{end}}{{printf "\t"}}{{.ImportPath}}' ./... |
+	grep -v '/examples/' |
+	while IFS="$(printf '\t')" read -r files pkg; do
+		[ -n "$files" ] || continue
+		# shellcheck disable=SC2086 # files is a space-separated list
+		if ! grep -l -E '^func (Test|Benchmark|Fuzz|Example)' $files >/dev/null 2>&1; then
+			echo "$pkg"
+		fi
+	done)
+
+if [ -n "$vacuous" ]; then
+	echo "packages whose test files define no Test/Benchmark/Fuzz/Example function:" >&2
+	echo "$vacuous" | sed 's/^/  /' >&2
 	exit 1
 fi
 echo "every package carries tests"
